@@ -1,0 +1,84 @@
+// Command hybster-bench regenerates the figures of the paper's
+// evaluation section (§6) on the in-process cluster fabric.
+//
+// Usage:
+//
+//	hybster-bench -figure 5b                 # one figure
+//	hybster-bench -figure all -duration 10s  # everything, longer windows
+//	hybster-bench -figure 6c -csv            # machine-readable output
+//
+// Figures: 5a (trusted subsystem), 5b (unbatched throughput),
+// 5c (batched throughput), 6a (latency, 0 B), 6b (latency, 1 kB),
+// 6c (coordination service), cash (§6.1 CASH comparison).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hybster/internal/bench"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "figure to run: 5a, 5b, 5c, 6a, 6b, 6c, cash, all")
+	duration := flag.Duration("duration", time.Second, "measured window per data point")
+	warmup := flag.Duration("warmup", 300*time.Millisecond, "warmup before each measurement")
+	clients := flag.Int("clients", 48, "closed-loop clients for throughput figures")
+	quick := flag.Bool("quick", false, "reduced sweep resolution (smoke test)")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	flag.Parse()
+
+	opts := bench.DefaultOptions()
+	opts.Duration = *duration
+	opts.Warmup = *warmup
+	opts.Clients = *clients
+	opts.Quick = *quick
+
+	type fig struct {
+		name, title, xLabel string
+		run                 func() ([]bench.Point, error)
+	}
+	figs := []fig{
+		{"5a", "Figure 5a — trusted subsystem, certifying 32-byte messages", "cores",
+			func() ([]bench.Point, error) { return bench.Fig5a(opts), nil }},
+		{"5b", "Figure 5b — 0 bytes, unbatched, rotation", "cores",
+			func() ([]bench.Point, error) { return bench.Fig5b(opts) }},
+		{"5c", "Figure 5c — 0 bytes, batched, rotation", "cores",
+			func() ([]bench.Point, error) { return bench.Fig5c(opts) }},
+		{"6a", "Figure 6a — 0 bytes, batched, no rotation (latency vs throughput)", "clients",
+			func() ([]bench.Point, error) { return bench.Fig6a(opts) }},
+		{"6b", "Figure 6b — 1 kilobyte, batched, no rotation (latency vs throughput)", "clients",
+			func() ([]bench.Point, error) { return bench.Fig6b(opts) }},
+		{"6c", "Figure 6c — coordination service (128 bytes), read-rate sweep", "read-%",
+			func() ([]bench.Point, error) { return bench.Fig6c(opts) }},
+		{"cash", "§6.1 — TrInX vs published CASH numbers", "-",
+			func() ([]bench.Point, error) { return bench.CASHReference(opts), nil }},
+		{"minbft", "Extension — sequential baselines head to head (HybsterS vs MinBFT)", "batch",
+			func() ([]bench.Point, error) { return bench.SequentialBaselines(opts) }},
+	}
+
+	ran := false
+	for _, f := range figs {
+		if *figure != "all" && *figure != f.name {
+			continue
+		}
+		ran = true
+		points, err := f.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f.name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			bench.WriteCSV(os.Stdout, points)
+		} else {
+			bench.WriteTable(os.Stdout, f.title, f.xLabel, points)
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

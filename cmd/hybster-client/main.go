@@ -1,0 +1,103 @@
+// Command hybster-client drives a TCP-deployed replica group (see
+// cmd/hybster-replica) with closed-loop load and reports throughput
+// and latency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybster/internal/client"
+	"hybster/internal/config"
+	"hybster/internal/crypto"
+	"hybster/internal/stats"
+	"hybster/internal/transport"
+)
+
+func main() {
+	peersFlag := flag.String("peers", "", "comma-separated replica addresses, index = replica ID")
+	protoFlag := flag.String("protocol", "hybsterx", "protocol the group runs (sets n/f expectations)")
+	clients := flag.Int("clients", 8, "closed-loop clients")
+	ops := flag.Int("ops", 1000, "operations per client (0 = run for -duration)")
+	duration := flag.Duration("duration", 10*time.Second, "run length when -ops is 0")
+	payload := flag.Int("payload", 0, "request payload bytes")
+	keySeed := flag.String("keyseed", "hybster-default", "group key seed (must match replicas)")
+	rotate := flag.Bool("rotate", false, "group runs with rotating proposer")
+	flag.Parse()
+
+	peers := strings.Split(*peersFlag, ",")
+	if len(peers) < 3 {
+		log.Fatalf("need at least 3 peers (use -peers)")
+	}
+	var proto config.Protocol
+	switch strings.ToLower(*protoFlag) {
+	case "hybsters":
+		proto = config.HybsterS
+	case "hybsterx":
+		proto = config.HybsterX
+	case "pbft", "pbftcop":
+		proto = config.PBFTcop
+	case "hybridpbft":
+		proto = config.HybridPBFT
+	case "minbft":
+		proto = config.MinBFT
+	default:
+		log.Fatalf("unknown protocol %q", *protoFlag)
+	}
+	cfg := config.Default(proto)
+	cfg.N = len(peers)
+	cfg.KeySeed = *keySeed
+	cfg.RotateLeader = *rotate
+
+	payloadBytes := make([]byte, *payload)
+	rec := stats.NewRecorder()
+	var total atomic.Uint64
+	var failures atomic.Uint64
+
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		cid := crypto.ClientIDBase + uint32(i)
+		ep, err := transport.NewTCP(cid, "127.0.0.1:0", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for r, addr := range peers {
+			ep.AddPeer(uint32(r), strings.TrimSpace(addr))
+		}
+		cl, err := client.New(client.Options{Config: cfg, ID: cid, Endpoint: ep, Timeout: 2 * time.Second})
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer cl.Close()
+			for n := 0; *ops == 0 || n < *ops; n++ {
+				if *ops == 0 && time.Now().After(deadline) {
+					return
+				}
+				t0 := time.Now()
+				if _, err := cl.Invoke(payloadBytes, false); err != nil {
+					failures.Add(1)
+					return
+				}
+				rec.Record(time.Since(t0))
+				total.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sum := rec.Summarize()
+	fmt.Printf("clients=%d ops=%d failures=%d elapsed=%v\n", *clients, total.Load(), failures.Load(), elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %s\n", stats.FormatOps(stats.Throughput(total.Load(), elapsed)))
+	fmt.Printf("latency: avg=%v p50=%v p90=%v p99=%v max=%v\n", sum.Avg, sum.P50, sum.P90, sum.P99, sum.Max)
+}

@@ -1,0 +1,146 @@
+// Command hybster-replica runs one replica of a Hybster (or baseline)
+// group over real TCP, for multi-process or multi-machine deployments.
+//
+// A three-replica local group:
+//
+//	hybster-replica -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	hybster-replica -id 1 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	hybster-replica -id 2 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	hybster-client  -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -ops 1000
+//
+// The -peers list is positional: entry i is replica i's listen address.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"hybster/internal/apps/coordination"
+	"hybster/internal/apps/counter"
+	"hybster/internal/apps/echo"
+	"hybster/internal/cluster"
+	"hybster/internal/config"
+	"hybster/internal/core"
+	"hybster/internal/enclave"
+	"hybster/internal/minbft"
+	"hybster/internal/pbft"
+	"hybster/internal/statemachine"
+	"hybster/internal/transport"
+)
+
+func main() {
+	id := flag.Uint("id", 0, "replica ID (position in -peers)")
+	peersFlag := flag.String("peers", "", "comma-separated replica addresses, index = replica ID")
+	protoFlag := flag.String("protocol", "hybsterx", "protocol: hybsters, hybsterx, pbft, hybridpbft, minbft")
+	pillars := flag.Int("pillars", 0, "pillar count (0 = protocol default)")
+	batch := flag.Int("batch", 16, "max requests per consensus instance")
+	rotate := flag.Bool("rotate", false, "rotate the proposer over all replicas")
+	appFlag := flag.String("app", "echo", "application: echo, counter, coordination")
+	keySeed := flag.String("keyseed", "hybster-default", "group key seed (must match on all nodes)")
+	flag.Parse()
+
+	peers := strings.Split(*peersFlag, ",")
+	if len(peers) < 3 {
+		log.Fatalf("need at least 3 peers, have %d (use -peers)", len(peers))
+	}
+	if int(*id) >= len(peers) {
+		log.Fatalf("id %d out of range for %d peers", *id, len(peers))
+	}
+
+	proto, err := parseProtocol(*protoFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := config.Default(proto)
+	cfg.N = len(peers)
+	if *pillars > 0 {
+		cfg.Pillars = *pillars
+	}
+	cfg.BatchSize = *batch
+	cfg.RotateLeader = *rotate
+	cfg.KeySeed = *keySeed
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	peerMap := make(map[uint32]string, len(peers))
+	for i, addr := range peers {
+		if uint32(i) != uint32(*id) {
+			peerMap[uint32(i)] = strings.TrimSpace(addr)
+		}
+	}
+	ep, err := transport.NewTCP(uint32(*id), strings.TrimSpace(peers[*id]), peerMap)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	app := newApp(*appFlag)
+	platform := enclave.NewPlatform(fmt.Sprintf("replica-%d", *id))
+
+	var replica cluster.Replica
+	switch proto {
+	case config.HybsterS, config.HybsterX:
+		replica, err = core.New(core.Options{
+			Config: cfg, ID: uint32(*id), Endpoint: ep, Application: app,
+			Platform: platform, EnclaveCost: enclave.DefaultCostModel,
+		})
+	case config.PBFTcop, config.HybridPBFT:
+		replica, err = pbft.New(pbft.Options{
+			Config: cfg, ID: uint32(*id), Endpoint: ep, Application: app,
+			Platform: platform, EnclaveCost: enclave.DefaultCostModel,
+		})
+	case config.MinBFT:
+		replica, err = minbft.New(minbft.Options{
+			Config: cfg, ID: uint32(*id), Endpoint: ep, Application: app,
+			Platform: platform, EnclaveCost: enclave.DefaultCostModel,
+		})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	replica.Start()
+	log.Printf("replica %d (%s, %d pillars, app %s) listening on %s",
+		*id, proto, cfg.Pillars, *appFlag, ep.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("replica %d shutting down (executed up to order %d)", *id, replica.LastExecuted())
+	replica.Stop()
+}
+
+func parseProtocol(s string) (config.Protocol, error) {
+	switch strings.ToLower(s) {
+	case "hybsters":
+		return config.HybsterS, nil
+	case "hybsterx":
+		return config.HybsterX, nil
+	case "pbft", "pbftcop":
+		return config.PBFTcop, nil
+	case "hybridpbft":
+		return config.HybridPBFT, nil
+	case "minbft":
+		return config.MinBFT, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q", s)
+	}
+}
+
+func newApp(name string) statemachine.Application {
+	switch strings.ToLower(name) {
+	case "echo":
+		return echo.New(-1)
+	case "counter":
+		return counter.New()
+	case "coordination":
+		return coordination.New()
+	default:
+		log.Fatalf("unknown app %q", name)
+		return nil
+	}
+}

@@ -1,0 +1,42 @@
+// Command trinx-bench benchmarks the TrInX trusted subsystem in
+// isolation (§6.1 / Figure 5a) and prints the CASH comparison.
+//
+// Usage:
+//
+//	trinx-bench                 # Fig. 5a sweep
+//	trinx-bench -cash           # published CASH comparison only
+//	trinx-bench -duration 10s   # longer windows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hybster/internal/bench"
+)
+
+func main() {
+	duration := flag.Duration("duration", time.Second, "measured window per data point")
+	cashOnly := flag.Bool("cash", false, "only run the CASH comparison")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	flag.Parse()
+
+	opts := bench.DefaultOptions()
+	opts.Duration = *duration
+
+	emit := func(title string, points []bench.Point) {
+		if *csv {
+			bench.WriteCSV(os.Stdout, points)
+		} else {
+			bench.WriteTable(os.Stdout, title, "cores", points)
+		}
+	}
+
+	if !*cashOnly {
+		emit("Figure 5a — trusted subsystem, certifying 32-byte messages", bench.Fig5a(opts))
+	}
+	emit("§6.1 — TrInX vs published CASH numbers", bench.CASHReference(opts))
+	fmt.Fprintln(os.Stderr, "note: absolute numbers depend on the host; compare shapes against the paper (see EXPERIMENTS.md)")
+}

@@ -1,0 +1,86 @@
+// Byzantine example (§4.2, §5.2.1): demonstrates *why* Hybster is
+// safe — equivocation is prevented by the trusted subsystem itself.
+// A faulty leader that wants to propose two different request batches
+// for the same consensus instance simply cannot obtain two valid
+// certificates: the independent counter certificate for a value can be
+// issued exactly once.
+//
+// The example drives TrInX directly (the attack surface) and then
+// shows the follower-side verification rejecting every forgery avenue
+// the attacker has left.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybster/internal/crypto"
+	"hybster/internal/enclave"
+	"hybster/internal/timeline"
+	"hybster/internal/trinx"
+)
+
+func main() {
+	key := crypto.NewKeyFromSeed("demo-group")
+
+	// The faulty leader's platform and TrInX instance (pillar 0).
+	leaderTX := trinx.New(enclave.NewPlatform("leader"), trinx.MakeInstanceID(0, 0), 2, key, enclave.CostModel{})
+	defer leaderTX.Destroy()
+	// A correct follower's instance, used for verification.
+	followerTX := trinx.New(enclave.NewPlatform("follower"), trinx.MakeInstanceID(1, 0), 2, key, enclave.CostModel{})
+	defer followerTX.Destroy()
+
+	instance := timeline.Pack(0, 50) // consensus instance (view 0, order 50)
+	batchA := crypto.Hash([]byte("PREPARE: transfer $100 to Alice"))
+	batchB := crypto.Hash([]byte("PREPARE: transfer $100 to Mallory"))
+
+	fmt.Println("attack 1: certify two conflicting PREPAREs for instance (0,50)")
+	certA, err := leaderTX.CreateIndependent(0, uint64(instance), batchA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  first certificate issued: counter value %s\n", timeline.Point(certA.Value))
+	if _, err := leaderTX.CreateIndependent(0, uint64(instance), batchB); err != nil {
+		fmt.Printf("  second certificate REFUSED by TrInX: %v\n", err)
+	} else {
+		log.Fatal("  BUG: equivocation possible!")
+	}
+
+	fmt.Println("attack 2: reuse the first certificate for the conflicting batch")
+	if err := followerTX.Verify(certA, batchB); err != nil {
+		fmt.Printf("  follower rejects it: %v\n", err)
+	} else {
+		log.Fatal("  BUG: certificate transplant accepted!")
+	}
+
+	fmt.Println("attack 3: forge a certificate without the group key")
+	outsiderTX := trinx.New(enclave.NewPlatform("outsider"),
+		trinx.MakeInstanceID(0, 0), 2, crypto.NewKeyFromSeed("wrong-key"), enclave.CostModel{})
+	defer outsiderTX.Destroy()
+	forged, err := outsiderTX.CreateIndependent(0, uint64(instance), batchB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := followerTX.Verify(forged, batchB); err != nil {
+		fmt.Printf("  follower rejects the forgery: %v\n", err)
+	} else {
+		log.Fatal("  BUG: forged certificate accepted!")
+	}
+
+	fmt.Println("attack 4: conceal participation during a view change")
+	// The leader took part in instance (0,50); to support view 1 it
+	// must issue a continuing certificate, and TrInX unforgeably
+	// records the previous counter value [0|50] inside it.
+	vcDigest := crypto.Hash([]byte("VIEW-CHANGE 0 -> 1"))
+	cont, err := leaderTX.CreateContinuing(0, uint64(timeline.ViewStart(1)), vcDigest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  continuing certificate reveals prev = %s — the follower now knows\n",
+		timeline.Point(cont.Prev))
+	fmt.Println("  every instance up to order 50 must be disclosed in the VIEW-CHANGE")
+
+	fmt.Println()
+	fmt.Println("all four equivocation/concealment avenues are closed by TrInX —")
+	fmt.Println("this is the mechanism behind Hybster's two-phase ordering (§5.2).")
+}

@@ -1,0 +1,3 @@
+module hybster
+
+go 1.22

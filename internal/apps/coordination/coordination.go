@@ -1,0 +1,405 @@
+// Package coordination implements the ZooKeeper-inspired coordination
+// service of §6.4: a hierarchical namespace of nodes (znodes) holding
+// small data blobs, with create/delete/set/get/exists/children
+// operations and per-node versioning. Unlike ZooKeeper it performs no
+// read optimization — reads are ordered like writes — and therefore
+// provides strong consistency, exactly as the paper's evaluation
+// requires.
+//
+// Operations are serialized into request payloads with Encode*; the
+// service decodes them in Execute. Groups of clients can build locks,
+// membership, and leader election on this interface (see
+// examples/coordination).
+package coordination
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"hybster/internal/message"
+)
+
+// Op identifies a coordination operation.
+type Op uint8
+
+// Operations of the coordination API.
+const (
+	OpCreate Op = iota + 1
+	OpDelete
+	OpSetData
+	OpGetData
+	OpExists
+	OpChildren
+)
+
+// Status is the first byte of every result.
+type Status uint8
+
+// Result status codes.
+const (
+	StatusOK Status = iota + 1
+	StatusNodeExists
+	StatusNoNode
+	StatusNotEmpty
+	StatusBadVersion
+	StatusBadRequest
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNodeExists:
+		return "NodeExists"
+	case StatusNoNode:
+		return "NoNode"
+	case StatusNotEmpty:
+		return "NotEmpty"
+	case StatusBadVersion:
+		return "BadVersion"
+	case StatusBadRequest:
+		return "BadRequest"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// node is one znode.
+type node struct {
+	data     []byte
+	version  uint64
+	children map[string]*node
+}
+
+func newNode() *node { return &node{children: make(map[string]*node)} }
+
+// Service is the coordination service application.
+type Service struct {
+	mu   sync.Mutex
+	root *node
+}
+
+// New creates an empty namespace with a root node "/".
+func New() *Service { return &Service{root: newNode()} }
+
+// --- request/response encoding ---
+
+// EncodeRequest builds a request payload for op on path. data is used
+// by Create and SetData; expectedVersion is used by SetData and Delete
+// (0 means "any version").
+func EncodeRequest(op Op, path string, data []byte, expectedVersion uint64) []byte {
+	e := message.NewEncoder(16 + len(path) + len(data))
+	e.U8(uint8(op))
+	e.U64(expectedVersion)
+	e.VarBytes([]byte(path))
+	e.VarBytes(data)
+	return e.Bytes()
+}
+
+// IsReadOnly reports whether op can be flagged read-only in requests.
+func (o Op) IsReadOnly() bool {
+	return o == OpGetData || o == OpExists || o == OpChildren
+}
+
+// Result is a decoded operation result.
+type Result struct {
+	Status  Status
+	Version uint64
+	Data    []byte
+	// Children is set for OpChildren results.
+	Children []string
+}
+
+// DecodeResult parses a service reply.
+func DecodeResult(buf []byte) (Result, error) {
+	d := message.NewDecoder(buf)
+	r := Result{Status: Status(d.U8()), Version: d.U64()}
+	r.Data = append([]byte(nil), d.VarBytes()...)
+	n := d.Len(1)
+	for i := 0; i < n; i++ {
+		r.Children = append(r.Children, string(d.VarBytes()))
+	}
+	if err := d.Finish(); err != nil {
+		return Result{}, err
+	}
+	return r, nil
+}
+
+func encodeResult(r Result) []byte {
+	e := message.NewEncoder(16 + len(r.Data))
+	e.U8(uint8(r.Status))
+	e.U64(r.Version)
+	e.VarBytes(r.Data)
+	e.Len(len(r.Children))
+	for _, c := range r.Children {
+		e.VarBytes([]byte(c))
+	}
+	return e.Bytes()
+}
+
+// --- Application implementation ---
+
+// Execute implements statemachine.Application.
+func (s *Service) Execute(client uint32, payload []byte, readOnly bool) []byte {
+	d := message.NewDecoder(payload)
+	op := Op(d.U8())
+	version := d.U64()
+	path := string(d.VarBytes())
+	data := append([]byte(nil), d.VarBytes()...)
+	if d.Finish() != nil {
+		return encodeResult(Result{Status: StatusBadRequest})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return encodeResult(s.apply(op, path, data, version))
+}
+
+func (s *Service) apply(op Op, path string, data []byte, version uint64) Result {
+	switch op {
+	case OpCreate:
+		return s.create(path, data)
+	case OpDelete:
+		return s.delete(path, version)
+	case OpSetData:
+		return s.setData(path, data, version)
+	case OpGetData:
+		return s.getData(path)
+	case OpExists:
+		return s.exists(path)
+	case OpChildren:
+		return s.childrenOf(path)
+	default:
+		return Result{Status: StatusBadRequest}
+	}
+}
+
+// split validates a path and returns its components; the root "/" has
+// no components.
+func split(path string) ([]string, bool) {
+	if path == "" || path[0] != '/' || (len(path) > 1 && strings.HasSuffix(path, "/")) {
+		return nil, false
+	}
+	if path == "/" {
+		return nil, true
+	}
+	parts := strings.Split(path[1:], "/")
+	for _, p := range parts {
+		if p == "" {
+			return nil, false
+		}
+	}
+	return parts, true
+}
+
+// lookup walks to the node at path.
+func (s *Service) lookup(path string) (*node, bool) {
+	parts, ok := split(path)
+	if !ok {
+		return nil, false
+	}
+	n := s.root
+	for _, p := range parts {
+		child, ok := n.children[p]
+		if !ok {
+			return nil, false
+		}
+		n = child
+	}
+	return n, true
+}
+
+func (s *Service) create(path string, data []byte) Result {
+	parts, ok := split(path)
+	if !ok || len(parts) == 0 {
+		return Result{Status: StatusBadRequest}
+	}
+	parent := s.root
+	for _, p := range parts[:len(parts)-1] {
+		child, ok := parent.children[p]
+		if !ok {
+			return Result{Status: StatusNoNode} // parents must exist
+		}
+		parent = child
+	}
+	name := parts[len(parts)-1]
+	if _, exists := parent.children[name]; exists {
+		return Result{Status: StatusNodeExists}
+	}
+	n := newNode()
+	n.data = data
+	n.version = 1
+	parent.children[name] = n
+	return Result{Status: StatusOK, Version: 1}
+}
+
+func (s *Service) delete(path string, version uint64) Result {
+	parts, ok := split(path)
+	if !ok || len(parts) == 0 {
+		return Result{Status: StatusBadRequest}
+	}
+	parent := s.root
+	for _, p := range parts[:len(parts)-1] {
+		child, ok := parent.children[p]
+		if !ok {
+			return Result{Status: StatusNoNode}
+		}
+		parent = child
+	}
+	name := parts[len(parts)-1]
+	n, exists := parent.children[name]
+	if !exists {
+		return Result{Status: StatusNoNode}
+	}
+	if version != 0 && n.version != version {
+		return Result{Status: StatusBadVersion, Version: n.version}
+	}
+	if len(n.children) != 0 {
+		return Result{Status: StatusNotEmpty}
+	}
+	delete(parent.children, name)
+	return Result{Status: StatusOK}
+}
+
+func (s *Service) setData(path string, data []byte, version uint64) Result {
+	n, ok := s.lookup(path)
+	if !ok {
+		if _, valid := split(path); !valid {
+			return Result{Status: StatusBadRequest}
+		}
+		return Result{Status: StatusNoNode}
+	}
+	if version != 0 && n.version != version {
+		return Result{Status: StatusBadVersion, Version: n.version}
+	}
+	n.data = data
+	n.version++
+	return Result{Status: StatusOK, Version: n.version}
+}
+
+func (s *Service) getData(path string) Result {
+	n, ok := s.lookup(path)
+	if !ok {
+		if _, valid := split(path); !valid {
+			return Result{Status: StatusBadRequest}
+		}
+		return Result{Status: StatusNoNode}
+	}
+	return Result{Status: StatusOK, Version: n.version, Data: append([]byte(nil), n.data...)}
+}
+
+func (s *Service) exists(path string) Result {
+	n, ok := s.lookup(path)
+	if !ok {
+		if _, valid := split(path); !valid {
+			return Result{Status: StatusBadRequest}
+		}
+		return Result{Status: StatusNoNode}
+	}
+	return Result{Status: StatusOK, Version: n.version}
+}
+
+func (s *Service) childrenOf(path string) Result {
+	n, ok := s.lookup(path)
+	if !ok {
+		if _, valid := split(path); !valid {
+			return Result{Status: StatusBadRequest}
+		}
+		return Result{Status: StatusNoNode}
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return Result{Status: StatusOK, Version: n.version, Children: names}
+}
+
+// --- snapshot / restore ---
+
+// Snapshot implements statemachine.Application; the encoding is a
+// deterministic pre-order walk with sorted children.
+func (s *Service) Snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := message.NewEncoder(1024)
+	s.snapshotNode(e, s.root)
+	return e.Bytes()
+}
+
+func (s *Service) snapshotNode(e *message.Encoder, n *node) {
+	e.VarBytes(n.data)
+	e.U64(n.version)
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	e.Len(len(names))
+	for _, name := range names {
+		e.VarBytes([]byte(name))
+		s.snapshotNode(e, n.children[name])
+	}
+}
+
+// Restore implements statemachine.Application.
+func (s *Service) Restore(snapshot []byte) error {
+	d := message.NewDecoder(snapshot)
+	root, err := restoreNode(d, 0)
+	if err != nil {
+		return err
+	}
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("coordination: snapshot: %w", err)
+	}
+	s.mu.Lock()
+	s.root = root
+	s.mu.Unlock()
+	return nil
+}
+
+// maxTreeDepth bounds snapshot recursion against corrupt input.
+const maxTreeDepth = 256
+
+func restoreNode(d *message.Decoder, depth int) (*node, error) {
+	if depth > maxTreeDepth {
+		return nil, fmt.Errorf("coordination: snapshot tree too deep")
+	}
+	n := newNode()
+	n.data = append([]byte(nil), d.VarBytes()...)
+	n.version = d.U64()
+	count := d.Len(1)
+	for i := 0; i < count; i++ {
+		name := string(d.VarBytes())
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		child, err := restoreNode(d, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		n.children[name] = child
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return n, nil
+}
+
+// NodeCount returns the number of znodes excluding the root
+// (diagnostics).
+func (s *Service) NodeCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return countNodes(s.root) - 1
+}
+
+func countNodes(n *node) int {
+	c := 1
+	for _, child := range n.children {
+		c += countNodes(child)
+	}
+	return c
+}

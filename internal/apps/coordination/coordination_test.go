@@ -1,0 +1,253 @@
+package coordination
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// do executes one operation directly against the service.
+func do(t *testing.T, s *Service, op Op, path string, data []byte, version uint64) Result {
+	t.Helper()
+	out := s.Execute(1, EncodeRequest(op, path, data, version), op.IsReadOnly())
+	r, err := DecodeResult(out)
+	if err != nil {
+		t.Fatalf("%v %s: decode: %v", op, path, err)
+	}
+	return r
+}
+
+func TestCreateGetSetDelete(t *testing.T) {
+	s := New()
+	if r := do(t, s, OpCreate, "/a", []byte("v1"), 0); r.Status != StatusOK || r.Version != 1 {
+		t.Fatalf("create: %+v", r)
+	}
+	if r := do(t, s, OpGetData, "/a", nil, 0); r.Status != StatusOK || string(r.Data) != "v1" {
+		t.Fatalf("get: %+v", r)
+	}
+	if r := do(t, s, OpSetData, "/a", []byte("v2"), 0); r.Status != StatusOK || r.Version != 2 {
+		t.Fatalf("set: %+v", r)
+	}
+	if r := do(t, s, OpGetData, "/a", nil, 0); string(r.Data) != "v2" || r.Version != 2 {
+		t.Fatalf("get2: %+v", r)
+	}
+	if r := do(t, s, OpDelete, "/a", nil, 0); r.Status != StatusOK {
+		t.Fatalf("delete: %+v", r)
+	}
+	if r := do(t, s, OpGetData, "/a", nil, 0); r.Status != StatusNoNode {
+		t.Fatalf("get after delete: %+v", r)
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	s := New()
+	do(t, s, OpCreate, "/app", nil, 0)
+	do(t, s, OpCreate, "/app/locks", nil, 0)
+	do(t, s, OpCreate, "/app/locks/l1", []byte("holder"), 0)
+	do(t, s, OpCreate, "/app/members", nil, 0)
+
+	r := do(t, s, OpChildren, "/app", nil, 0)
+	if len(r.Children) != 2 || r.Children[0] != "locks" || r.Children[1] != "members" {
+		t.Fatalf("children: %+v", r.Children)
+	}
+	// Parent must exist for create.
+	if r := do(t, s, OpCreate, "/missing/x", nil, 0); r.Status != StatusNoNode {
+		t.Fatalf("orphan create: %+v", r)
+	}
+	// Non-empty node cannot be deleted.
+	if r := do(t, s, OpDelete, "/app/locks", nil, 0); r.Status != StatusNotEmpty {
+		t.Fatalf("delete non-empty: %+v", r)
+	}
+	if s.NodeCount() != 4 {
+		t.Fatalf("NodeCount = %d", s.NodeCount())
+	}
+}
+
+func TestVersionedOperations(t *testing.T) {
+	s := New()
+	do(t, s, OpCreate, "/a", []byte("v1"), 0)
+	// Wrong expected version rejected; reports the actual one.
+	if r := do(t, s, OpSetData, "/a", []byte("x"), 9); r.Status != StatusBadVersion || r.Version != 1 {
+		t.Fatalf("set wrong version: %+v", r)
+	}
+	if r := do(t, s, OpSetData, "/a", []byte("x"), 1); r.Status != StatusOK || r.Version != 2 {
+		t.Fatalf("set right version: %+v", r)
+	}
+	if r := do(t, s, OpDelete, "/a", nil, 1); r.Status != StatusBadVersion {
+		t.Fatalf("delete wrong version: %+v", r)
+	}
+	if r := do(t, s, OpDelete, "/a", nil, 2); r.Status != StatusOK {
+		t.Fatalf("delete right version: %+v", r)
+	}
+}
+
+func TestDuplicateCreate(t *testing.T) {
+	s := New()
+	do(t, s, OpCreate, "/a", nil, 0)
+	if r := do(t, s, OpCreate, "/a", nil, 0); r.Status != StatusNodeExists {
+		t.Fatalf("dup create: %+v", r)
+	}
+}
+
+func TestExists(t *testing.T) {
+	s := New()
+	if r := do(t, s, OpExists, "/a", nil, 0); r.Status != StatusNoNode {
+		t.Fatalf("exists missing: %+v", r)
+	}
+	do(t, s, OpCreate, "/a", nil, 0)
+	if r := do(t, s, OpExists, "/a", nil, 0); r.Status != StatusOK || r.Version != 1 {
+		t.Fatalf("exists: %+v", r)
+	}
+	if r := do(t, s, OpExists, "/", nil, 0); r.Status != StatusOK {
+		t.Fatalf("root exists: %+v", r)
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	s := New()
+	for _, p := range []string{"", "a", "//", "/a/", "/a//b", "noSlash"} {
+		if r := do(t, s, OpCreate, p, nil, 0); r.Status != StatusBadRequest {
+			t.Errorf("path %q: %+v", p, r)
+		}
+	}
+	// Creating or deleting the root is invalid.
+	if r := do(t, s, OpCreate, "/", nil, 0); r.Status != StatusBadRequest {
+		t.Errorf("create root: %+v", r)
+	}
+	if r := do(t, s, OpDelete, "/", nil, 0); r.Status != StatusBadRequest {
+		t.Errorf("delete root: %+v", r)
+	}
+}
+
+func TestMalformedPayload(t *testing.T) {
+	s := New()
+	out := s.Execute(1, []byte{0xff, 0x01}, false)
+	r, err := DecodeResult(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != StatusBadRequest {
+		t.Fatalf("malformed payload: %+v", r)
+	}
+}
+
+func TestSnapshotRestoreRoundtrip(t *testing.T) {
+	s := New()
+	do(t, s, OpCreate, "/a", []byte("1"), 0)
+	do(t, s, OpCreate, "/a/b", []byte("2"), 0)
+	do(t, s, OpCreate, "/a/c", []byte("3"), 0)
+	do(t, s, OpSetData, "/a/b", []byte("2x"), 0)
+	snap := s.Snapshot()
+
+	s2 := New()
+	if err := s2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s2.Snapshot(), snap) {
+		t.Fatal("snapshot not stable across restore")
+	}
+	if r := do(t, s2, OpGetData, "/a/b", nil, 0); string(r.Data) != "2x" || r.Version != 2 {
+		t.Fatalf("restored node: %+v", r)
+	}
+	if s2.NodeCount() != 3 {
+		t.Fatalf("NodeCount = %d", s2.NodeCount())
+	}
+}
+
+func TestRestoreRejectsCorrupt(t *testing.T) {
+	s := New()
+	do(t, s, OpCreate, "/a", []byte("1"), 0)
+	snap := s.Snapshot()
+	if err := New().Restore(snap[:len(snap)-2]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+func TestSnapshotDeterministicAcrossInsertionOrders(t *testing.T) {
+	a, b := New(), New()
+	paths := []string{"/x", "/y", "/z", "/x/1", "/x/2"}
+	for _, p := range paths {
+		do(t, a, OpCreate, p, []byte(p), 0)
+	}
+	for i := len(paths) - 1; i >= 0; i-- {
+		// Reverse order fails for children before parents; do parents
+		// first, then reversed leaves.
+		_ = i
+	}
+	do(t, b, OpCreate, "/z", []byte("/z"), 0)
+	do(t, b, OpCreate, "/y", []byte("/y"), 0)
+	do(t, b, OpCreate, "/x", []byte("/x"), 0)
+	do(t, b, OpCreate, "/x/2", []byte("/x/2"), 0)
+	do(t, b, OpCreate, "/x/1", []byte("/x/1"), 0)
+	if !bytes.Equal(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("insertion order leaked into snapshot")
+	}
+}
+
+func TestResultEncodingRoundtrip(t *testing.T) {
+	err := quick.Check(func(status uint8, version uint64, data []byte, kids []string) bool {
+		if status == 0 {
+			status = 1
+		}
+		// Normalize: nil slices decode as nil.
+		in := Result{Status: Status(status), Version: version, Data: data, Children: kids}
+		got, err := DecodeResult(encodeResult(in))
+		if err != nil {
+			return false
+		}
+		if got.Status != in.Status || got.Version != in.Version || !bytes.Equal(got.Data, in.Data) {
+			return false
+		}
+		if len(got.Children) != len(in.Children) {
+			return false
+		}
+		for i := range kids {
+			if got.Children[i] != kids[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOnlyClassification(t *testing.T) {
+	if !OpGetData.IsReadOnly() || !OpExists.IsReadOnly() || !OpChildren.IsReadOnly() {
+		t.Fatal("reads misclassified")
+	}
+	if OpCreate.IsReadOnly() || OpSetData.IsReadOnly() || OpDelete.IsReadOnly() {
+		t.Fatal("writes misclassified")
+	}
+}
+
+func TestManyNodesStress(t *testing.T) {
+	s := New()
+	do(t, s, OpCreate, "/n", nil, 0)
+	const count = 500
+	for i := 0; i < count; i++ {
+		if r := do(t, s, OpCreate, fmt.Sprintf("/n/z%03d", i), []byte{byte(i)}, 0); r.Status != StatusOK {
+			t.Fatalf("create %d: %+v", i, r)
+		}
+	}
+	r := do(t, s, OpChildren, "/n", nil, 0)
+	if len(r.Children) != count {
+		t.Fatalf("children = %d", len(r.Children))
+	}
+	// Sorted?
+	for i := 1; i < len(r.Children); i++ {
+		if r.Children[i-1] >= r.Children[i] {
+			t.Fatal("children not sorted")
+		}
+	}
+	snap := s.Snapshot()
+	s2 := New()
+	if err := s2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s2.NodeCount() != count+1 {
+		t.Fatalf("restored NodeCount = %d", s2.NodeCount())
+	}
+}

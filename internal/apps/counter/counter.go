@@ -1,0 +1,66 @@
+// Package counter is a tiny deterministic replicated counter used by
+// the examples and integration tests: every write request adds the
+// first payload byte to the counter and returns the new value; reads
+// return the current value. Divergence between replicas is immediately
+// visible in the state digest.
+package counter
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Service is the counter application.
+type Service struct {
+	mu    sync.Mutex
+	value uint64
+}
+
+// New creates a counter at zero.
+func New() *Service { return &Service{} }
+
+// Execute implements statemachine.Application. Write payloads add
+// their first byte (default 1 for empty payloads); reads return the
+// value unchanged.
+func (s *Service) Execute(client uint32, payload []byte, readOnly bool) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !readOnly {
+		delta := uint64(1)
+		if len(payload) > 0 {
+			delta = uint64(payload[0])
+		}
+		s.value += delta
+	}
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, s.value)
+	return out
+}
+
+// Snapshot implements statemachine.Application.
+func (s *Service) Snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, s.value)
+	return out
+}
+
+// Restore implements statemachine.Application.
+func (s *Service) Restore(snapshot []byte) error {
+	if len(snapshot) != 8 {
+		return fmt.Errorf("counter: bad snapshot length %d", len(snapshot))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.value = binary.BigEndian.Uint64(snapshot)
+	return nil
+}
+
+// Value returns the current counter value (diagnostics).
+func (s *Service) Value() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.value
+}

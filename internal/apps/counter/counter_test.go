@@ -1,0 +1,41 @@
+package counter
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestAddAndRead(t *testing.T) {
+	s := New()
+	out := s.Execute(1, []byte{5}, false)
+	if v := binary.BigEndian.Uint64(out); v != 5 {
+		t.Fatalf("value = %d", v)
+	}
+	// Empty payload adds 1.
+	s.Execute(1, nil, false)
+	if s.Value() != 6 {
+		t.Fatalf("value = %d", s.Value())
+	}
+	// Reads return without mutating.
+	out = s.Execute(1, []byte{9}, true)
+	if v := binary.BigEndian.Uint64(out); v != 6 || s.Value() != 6 {
+		t.Fatalf("read mutated: %d / %d", v, s.Value())
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := New()
+	s.Execute(1, []byte{42}, false)
+	snap := s.Snapshot()
+
+	fresh := New()
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Value() != 42 {
+		t.Fatalf("restored value = %d", fresh.Value())
+	}
+	if err := fresh.Restore([]byte{1, 2}); err == nil {
+		t.Fatal("short snapshot accepted")
+	}
+}

@@ -1,0 +1,68 @@
+// Package echo provides the microbenchmark service of §6.2/§6.3: it
+// returns results "without any calculation". The reply payload size is
+// configurable so the harness can reproduce the 0-byte, 128-byte, 1-kB
+// and 4-kB workloads of the paper.
+package echo
+
+import "sync"
+
+// Service is the microbenchmark application. It is stateless except
+// for a request counter (part of the snapshot so replicas stay
+// digest-identical).
+type Service struct {
+	mu        sync.Mutex
+	replySize int
+	count     uint64
+	reply     []byte
+}
+
+// New creates an echo service producing replies of replySize bytes.
+// With replySize < 0 the service echoes the request payload instead.
+func New(replySize int) *Service {
+	s := &Service{replySize: replySize}
+	if replySize > 0 {
+		s.reply = make([]byte, replySize)
+	}
+	return s
+}
+
+// Execute implements statemachine.Application.
+func (s *Service) Execute(client uint32, payload []byte, readOnly bool) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !readOnly {
+		s.count++
+	}
+	if s.replySize < 0 {
+		return payload
+	}
+	return s.reply
+}
+
+// Snapshot implements statemachine.Application.
+func (s *Service) Snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return []byte{
+		byte(s.count >> 56), byte(s.count >> 48), byte(s.count >> 40), byte(s.count >> 32),
+		byte(s.count >> 24), byte(s.count >> 16), byte(s.count >> 8), byte(s.count),
+	}
+}
+
+// Restore implements statemachine.Application.
+func (s *Service) Restore(snapshot []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count = 0
+	for _, b := range snapshot {
+		s.count = s.count<<8 | uint64(b)
+	}
+	return nil
+}
+
+// Count returns the number of writes executed (diagnostics).
+func (s *Service) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}

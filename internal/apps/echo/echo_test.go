@@ -1,0 +1,53 @@
+package echo
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFixedReplySize(t *testing.T) {
+	s := New(128)
+	out := s.Execute(1, []byte("ignored"), false)
+	if len(out) != 128 {
+		t.Fatalf("reply size = %d", len(out))
+	}
+	if s.Count() != 1 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	// Reads do not advance the counter.
+	s.Execute(1, nil, true)
+	if s.Count() != 1 {
+		t.Fatalf("read advanced count: %d", s.Count())
+	}
+}
+
+func TestEchoMode(t *testing.T) {
+	s := New(-1)
+	payload := []byte("ping")
+	if out := s.Execute(1, payload, false); !bytes.Equal(out, payload) {
+		t.Fatalf("echo = %q", out)
+	}
+}
+
+func TestEmptyReplies(t *testing.T) {
+	s := New(0)
+	if out := s.Execute(1, []byte("x"), false); len(out) != 0 {
+		t.Fatalf("reply = %q", out)
+	}
+}
+
+func TestSnapshotRestoreDigestEquality(t *testing.T) {
+	a, b := New(0), New(0)
+	for i := 0; i < 5; i++ {
+		a.Execute(1, nil, false)
+	}
+	if err := b.Restore(a.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b.Count() != a.Count() {
+		t.Fatalf("restored count %d != %d", b.Count(), a.Count())
+	}
+	if !bytes.Equal(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("snapshots diverge")
+	}
+}

@@ -1,0 +1,116 @@
+// Package checkpoint tracks checkpoint quorums (§5.2.2): replicas
+// announce state digests per checkpoint order; once a quorum of
+// matching announcements exists, the checkpoint is stable and its
+// message set forms the quorum certificate K used for garbage
+// collection, view changes, and state transfer.
+//
+// The tracker is generic over the announcing message type so the
+// Hybster engine (message.Checkpoint) and the PBFT baseline
+// (message.PBFTCheckpoint) share it. It is confined to one goroutine.
+package checkpoint
+
+import (
+	"hybster/internal/crypto"
+	"hybster/internal/timeline"
+)
+
+// Announcement is one replica's checkpoint message, reduced to the
+// fields the tracker needs; M retains the original message for proofs.
+type Announcement[M any] struct {
+	Replica uint32
+	Digest  crypto.Digest
+	Msg     M
+}
+
+// Stable describes a stable checkpoint.
+type Stable[M any] struct {
+	Order  timeline.Order
+	Digest crypto.Digest
+	// Proof is the quorum certificate: one announcement per replica.
+	Proof []M
+}
+
+// Tracker accumulates checkpoint announcements. Announcements more
+// than one window behind the newest stable checkpoint are rejected as
+// obsolete.
+type Tracker[M any] struct {
+	quorum    int
+	pending   map[timeline.Order]map[uint32]Announcement[M]
+	stable    Stable[M]
+	hasStable bool
+}
+
+// NewTracker creates a tracker requiring quorum matching
+// announcements.
+func NewTracker[M any](quorum int) *Tracker[M] {
+	if quorum < 1 {
+		panic("checkpoint: quorum must be positive")
+	}
+	return &Tracker[M]{
+		quorum:  quorum,
+		pending: make(map[timeline.Order]map[uint32]Announcement[M]),
+	}
+}
+
+// Add records one announcement. It returns a non-nil Stable exactly
+// when order o becomes stable through this announcement: a quorum of
+// replicas announced the same digest. Conflicting digests from
+// different replicas coexist until one reaches a quorum (a faulty
+// replica may announce garbage; it can never prevent a correct quorum).
+func (t *Tracker[M]) Add(o timeline.Order, a Announcement[M]) *Stable[M] {
+	if t.hasStable && o <= t.stable.Order {
+		return nil
+	}
+	byReplica, ok := t.pending[o]
+	if !ok {
+		byReplica = make(map[uint32]Announcement[M])
+		t.pending[o] = byReplica
+	}
+	if _, dup := byReplica[a.Replica]; dup {
+		return nil // first announcement per replica wins
+	}
+	byReplica[a.Replica] = a
+
+	matching := 0
+	for _, other := range byReplica {
+		if other.Digest == a.Digest {
+			matching++
+		}
+	}
+	if matching < t.quorum {
+		return nil
+	}
+	proof := make([]M, 0, matching)
+	for _, other := range byReplica {
+		if other.Digest == a.Digest {
+			proof = append(proof, other.Msg)
+		}
+	}
+	t.stable = Stable[M]{Order: o, Digest: a.Digest, Proof: proof}
+	t.hasStable = true
+	// Garbage collect this and all older pending checkpoints.
+	for old := range t.pending {
+		if old <= o {
+			delete(t.pending, old)
+		}
+	}
+	// Return a copy: stable checkpoints cross goroutine boundaries
+	// (pillar → coordinator) and must not alias tracker state that the
+	// next stability overwrites.
+	out := t.stable
+	return &out
+}
+
+// Last returns a copy of the newest stable checkpoint, or nil if none
+// exists yet.
+func (t *Tracker[M]) Last() *Stable[M] {
+	if !t.hasStable {
+		return nil
+	}
+	out := t.stable
+	return &out
+}
+
+// PendingOrders returns the number of checkpoint orders with
+// outstanding announcements (diagnostics and memory-bound tests).
+func (t *Tracker[M]) PendingOrders() int { return len(t.pending) }

@@ -1,0 +1,133 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"hybster/internal/crypto"
+	"hybster/internal/timeline"
+)
+
+type msg struct {
+	replica uint32
+	order   timeline.Order
+}
+
+func ann(r uint32, d crypto.Digest, o timeline.Order) Announcement[msg] {
+	return Announcement[msg]{Replica: r, Digest: d, Msg: msg{replica: r, order: o}}
+}
+
+func TestStabilityAtQuorum(t *testing.T) {
+	tr := NewTracker[msg](2)
+	d := crypto.Hash([]byte("state"))
+	if s := tr.Add(50, ann(0, d, 50)); s != nil {
+		t.Fatal("stable with a single announcement")
+	}
+	s := tr.Add(50, ann(1, d, 50))
+	if s == nil {
+		t.Fatal("not stable at quorum")
+	}
+	if s.Order != 50 || s.Digest != d || len(s.Proof) != 2 {
+		t.Fatalf("stable = %+v", s)
+	}
+	if tr.Last() == nil || tr.Last().Order != 50 {
+		t.Fatal("Last() wrong")
+	}
+}
+
+func TestMismatchedDigestsDoNotCount(t *testing.T) {
+	tr := NewTracker[msg](2)
+	good := crypto.Hash([]byte("good"))
+	bad := crypto.Hash([]byte("bad"))
+	if s := tr.Add(50, ann(0, good, 50)); s != nil {
+		t.Fatal("early stable")
+	}
+	if s := tr.Add(50, ann(1, bad, 50)); s != nil {
+		t.Fatal("conflicting digests reached stability")
+	}
+	// A second matching announcement still stabilizes despite the
+	// faulty one.
+	s := tr.Add(50, ann(2, good, 50))
+	if s == nil || s.Digest != good || len(s.Proof) != 2 {
+		t.Fatalf("stable = %+v", s)
+	}
+}
+
+func TestDuplicateReplicaIgnored(t *testing.T) {
+	tr := NewTracker[msg](2)
+	d := crypto.Hash([]byte("state"))
+	tr.Add(50, ann(0, d, 50))
+	if s := tr.Add(50, ann(0, d, 50)); s != nil {
+		t.Fatal("one replica counted twice")
+	}
+	// Equivocating digest from same replica also ignored.
+	if s := tr.Add(50, ann(0, crypto.Hash([]byte("x")), 50)); s != nil {
+		t.Fatal("equivocating announcement accepted")
+	}
+}
+
+func TestObsoleteOrdersRejectedAndGarbageCollected(t *testing.T) {
+	tr := NewTracker[msg](2)
+	d := crypto.Hash([]byte("s"))
+	tr.Add(30, ann(0, crypto.Hash([]byte("old")), 30))
+	tr.Add(50, ann(0, d, 50))
+	tr.Add(50, ann(1, d, 50)) // stable at 50
+	if tr.PendingOrders() != 0 {
+		t.Fatalf("pending after stability: %d", tr.PendingOrders())
+	}
+	if s := tr.Add(30, ann(1, d, 30)); s != nil {
+		t.Fatal("obsolete checkpoint stabilized")
+	}
+	if s := tr.Add(50, ann(2, d, 50)); s != nil {
+		t.Fatal("already-stable order re-stabilized")
+	}
+}
+
+func TestAdvancingCheckpoints(t *testing.T) {
+	tr := NewTracker[msg](2)
+	for _, o := range []timeline.Order{50, 100, 150} {
+		d := crypto.Hash([]byte{byte(o)})
+		tr.Add(o, ann(0, d, o))
+		s := tr.Add(o, ann(1, d, o))
+		if s == nil || s.Order != o {
+			t.Fatalf("order %d did not stabilize", o)
+		}
+	}
+	if tr.Last().Order != 150 {
+		t.Fatalf("Last = %d", tr.Last().Order)
+	}
+}
+
+func TestOutOfOrderStability(t *testing.T) {
+	// A later checkpoint can stabilize first (pillar parallelism);
+	// the earlier one is then obsolete.
+	tr := NewTracker[msg](2)
+	d100 := crypto.Hash([]byte("100"))
+	d50 := crypto.Hash([]byte("50"))
+	tr.Add(50, ann(0, d50, 50))
+	tr.Add(100, ann(0, d100, 100))
+	if s := tr.Add(100, ann(1, d100, 100)); s == nil {
+		t.Fatal("100 not stable")
+	}
+	if s := tr.Add(50, ann(1, d50, 50)); s != nil {
+		t.Fatal("50 stabilized after 100")
+	}
+}
+
+func TestQuorumLargerThanTwo(t *testing.T) {
+	tr := NewTracker[msg](3)
+	d := crypto.Hash([]byte("s"))
+	tr.Add(10, ann(0, d, 10))
+	tr.Add(10, ann(1, d, 10))
+	if s := tr.Add(10, ann(2, d, 10)); s == nil || len(s.Proof) != 3 {
+		t.Fatalf("stable = %+v", s)
+	}
+}
+
+func TestNewTrackerPanicsOnBadQuorum(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTracker[msg](0)
+}

@@ -1,0 +1,217 @@
+// Package client implements the BFT client: it authenticates requests
+// with a group-wide MAC authenticator, sends them to its designated
+// proposer (or the current leader), collects f+1 matching replies —
+// the acceptance rule of §2 — and retransmits to the whole group when
+// a result does not arrive in time, which also covers leader failure
+// (§5.2.3 example, step 3).
+package client
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybster/internal/config"
+	"hybster/internal/crypto"
+	"hybster/internal/message"
+	"hybster/internal/transport"
+)
+
+// ErrClosed is returned by calls on a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// ErrTimeout is returned when a request exhausts its retries.
+var ErrTimeout = errors.New("client: request timed out")
+
+// Options configure a Client.
+type Options struct {
+	// Config is the replica group configuration.
+	Config config.Config
+	// ID is the client's node ID (>= crypto.ClientIDBase).
+	ID uint32
+	// Endpoint connects the client to the group.
+	Endpoint transport.Endpoint
+	// Timeout is the per-attempt reply timeout before retransmitting;
+	// zero selects one second.
+	Timeout time.Duration
+	// Retries is the number of retransmissions before giving up; zero
+	// selects 8.
+	Retries int
+}
+
+// pending tracks one outstanding request.
+type pending struct {
+	seq     uint64
+	done    chan []byte
+	replies map[uint32][]byte // replica -> result
+}
+
+// Client issues requests to a replica group. It is safe for
+// concurrent use; requests from one client are sequenced by an
+// internal counter.
+type Client struct {
+	cfg     config.Config
+	id      uint32
+	ep      transport.Endpoint
+	ks      *crypto.KeyStore
+	timeout time.Duration
+	retries int
+
+	mu     sync.Mutex
+	seq    uint64
+	pend   map[uint64]*pending
+	closed bool
+	// direct reports whether the last request succeeded without
+	// retransmission; when false, new requests start with a multicast
+	// (the preferred replica is likely faulty or demoted).
+	direct atomic.Bool
+}
+
+// New creates a client and installs its reply handler.
+func New(opts Options) (*Client, error) {
+	if opts.ID < crypto.ClientIDBase {
+		return nil, fmt.Errorf("client: ID %d below ClientIDBase", opts.ID)
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = time.Second
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 8
+	}
+	c := &Client{
+		cfg:     opts.Config,
+		id:      opts.ID,
+		ep:      opts.Endpoint,
+		ks:      crypto.NewKeyStore(opts.ID, crypto.NewKeyFromSeed(opts.Config.KeySeed)),
+		timeout: opts.Timeout,
+		retries: opts.Retries,
+		pend:    make(map[uint64]*pending),
+	}
+	c.direct.Store(true)
+	c.ep.Handle(c.onMessage)
+	return c, nil
+}
+
+// ID returns the client's node ID.
+func (c *Client) ID() uint32 { return c.id }
+
+// Close shuts the client down; outstanding calls fail.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	for _, p := range c.pend {
+		close(p.done)
+	}
+	c.pend = make(map[uint64]*pending)
+	c.mu.Unlock()
+	_ = c.ep.Close()
+}
+
+// preferredReplica returns the replica a fresh request is sent to:
+// with rotation, the client's statically assigned proposer; without,
+// the assumed current leader (view 0's — retransmission reaches any
+// later leader).
+func (c *Client) preferredReplica() uint32 {
+	if c.cfg.RotateLeader {
+		return c.id % uint32(c.cfg.N)
+	}
+	return 0
+}
+
+// Invoke submits an operation and blocks until f+1 matching replies
+// arrive or retries are exhausted.
+func (c *Client) Invoke(payload []byte, readOnly bool) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.seq++
+	req := &message.Request{Client: c.id, Seq: c.seq, ReadOnly: readOnly, Payload: payload}
+	req.Auth = crypto.NewAuthenticator(c.ks, req.Digest(), c.cfg.N)
+	p := &pending{seq: req.Seq, done: make(chan []byte, 1), replies: make(map[uint32][]byte)}
+	c.pend[req.Seq] = p
+	c.mu.Unlock()
+
+	defer func() {
+		c.mu.Lock()
+		delete(c.pend, p.seq)
+		c.mu.Unlock()
+	}()
+
+	// The first attempt goes to the preferred replica only — unless a
+	// previous request needed retransmission, in which case that
+	// replica is likely faulty and we multicast right away. Every
+	// retry multicasts, because the client cannot know whether a
+	// faulty leader suppressed the request (§5.2.3).
+	if c.direct.Load() {
+		_ = c.ep.Send(c.preferredReplica(), req)
+	} else {
+		transport.Multicast(c.ep, c.cfg.N, req)
+	}
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		select {
+		case res, ok := <-p.done:
+			if !ok {
+				return nil, ErrClosed
+			}
+			c.direct.Store(attempt == 0)
+			return res, nil
+		case <-time.After(c.timeout):
+			transport.Multicast(c.ep, c.cfg.N, req)
+		}
+	}
+	return nil, fmt.Errorf("%w: seq %d after %d attempts", ErrTimeout, p.seq, c.retries+1)
+}
+
+// onMessage handles replica replies.
+func (c *Client) onMessage(from uint32, m message.Message) {
+	rep, ok := m.(*message.Reply)
+	if !ok || rep.Client != c.id || rep.Replica != from {
+		return
+	}
+	d := rep.Digest()
+	if !c.ks.KeyFor(from).Verify(d[:], rep.MAC) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.pend[rep.Seq]
+	if !ok {
+		return
+	}
+	p.replies[from] = rep.Result
+
+	// Accept once f+1 replicas returned byte-identical results.
+	matching := 0
+	for _, other := range p.replies {
+		if bytes.Equal(other, rep.Result) {
+			matching++
+		}
+	}
+	if matching >= c.cfg.F()+1 {
+		select {
+		case p.done <- rep.Result:
+		default:
+		}
+	}
+}
+
+// InvokeAsync submits an operation without waiting; the result is
+// delivered on the returned channel (closed on client shutdown). It
+// is the building block for the closed-loop load generators of the
+// benchmark harness.
+func (c *Client) InvokeAsync(payload []byte, readOnly bool) <-chan []byte {
+	out := make(chan []byte, 1)
+	go func() {
+		res, err := c.Invoke(payload, readOnly)
+		if err == nil {
+			out <- res
+		}
+		close(out)
+	}()
+	return out
+}

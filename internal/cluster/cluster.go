@@ -1,0 +1,218 @@
+// Package cluster boots complete in-process replica groups — engines,
+// simulated network, clients — for integration tests, examples, and
+// the benchmark harness. It also provides fault injection: crashing
+// replicas, partitioning the network, and healing it again.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"hybster/internal/client"
+	"hybster/internal/config"
+	"hybster/internal/core"
+	"hybster/internal/crypto"
+	"hybster/internal/enclave"
+	"hybster/internal/minbft"
+	"hybster/internal/pbft"
+	"hybster/internal/statemachine"
+	"hybster/internal/timeline"
+	"hybster/internal/transport"
+)
+
+// Replica is the surface the harness needs from any protocol engine.
+type Replica interface {
+	Start()
+	Stop()
+	ID() uint32
+	LastExecuted() timeline.Order
+}
+
+// Factory builds one replica engine attached to the given endpoint.
+// Each replica runs on its own enclave platform, as it would on its
+// own machine.
+type Factory func(cfg config.Config, id uint32, ep transport.Endpoint, platform *enclave.Platform) (Replica, error)
+
+// Cluster is one in-process replica group.
+type Cluster struct {
+	Cfg config.Config
+	Net *transport.Network
+
+	replicas []Replica
+	crashed  []bool
+
+	nextClient uint32
+}
+
+// Options configure a cluster.
+type Options struct {
+	Config config.Config
+	// Profile is the simulated network profile (zero = ideal network).
+	Profile transport.LinkProfile
+	// Seed makes simulated loss reproducible.
+	Seed int64
+	// EnclaveCost is the SGX cost model for all replicas.
+	EnclaveCost enclave.CostModel
+}
+
+// New boots a cluster with replicas produced by factory.
+func New(opts Options, factory Factory) (*Cluster, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		Cfg:        opts.Config,
+		Net:        transport.NewNetwork(opts.Profile, opts.Seed),
+		replicas:   make([]Replica, opts.Config.N),
+		crashed:    make([]bool, opts.Config.N),
+		nextClient: crypto.ClientIDBase,
+	}
+	for id := uint32(0); int(id) < opts.Config.N; id++ {
+		ep := c.Net.Endpoint(id)
+		platform := enclave.NewPlatform(fmt.Sprintf("replica-%d", id))
+		r, err := factory(opts.Config, id, ep, platform)
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		c.replicas[id] = r
+	}
+	for _, r := range c.replicas {
+		r.Start()
+	}
+	return c, nil
+}
+
+// NewHybster boots a Hybster cluster (HybsterS or HybsterX depending
+// on cfg.Pillars) running the applications produced by newApp.
+func NewHybster(opts Options, newApp func() statemachine.Application) (*Cluster, error) {
+	return New(opts, func(cfg config.Config, id uint32, ep transport.Endpoint, platform *enclave.Platform) (Replica, error) {
+		return core.New(core.Options{
+			Config:      cfg,
+			ID:          id,
+			Endpoint:    ep,
+			Application: newApp(),
+			Platform:    platform,
+			EnclaveCost: opts.EnclaveCost,
+		})
+	})
+}
+
+// NewPBFT boots a PBFTcop or HybridPBFT cluster depending on
+// cfg.Protocol.
+func NewPBFT(opts Options, newApp func() statemachine.Application) (*Cluster, error) {
+	return New(opts, func(cfg config.Config, id uint32, ep transport.Endpoint, platform *enclave.Platform) (Replica, error) {
+		return pbft.New(pbft.Options{
+			Config:      cfg,
+			ID:          id,
+			Endpoint:    ep,
+			Application: newApp(),
+			Platform:    platform,
+			EnclaveCost: opts.EnclaveCost,
+		})
+	})
+}
+
+// NewMinBFT boots a MinBFT cluster.
+func NewMinBFT(opts Options, newApp func() statemachine.Application) (*Cluster, error) {
+	return New(opts, func(cfg config.Config, id uint32, ep transport.Endpoint, platform *enclave.Platform) (Replica, error) {
+		return minbft.New(minbft.Options{
+			Config:      cfg,
+			ID:          id,
+			Endpoint:    ep,
+			Application: newApp(),
+			Platform:    platform,
+			EnclaveCost: opts.EnclaveCost,
+		})
+	})
+}
+
+// Replica returns replica id (nil if crashed).
+func (c *Cluster) Replica(id uint32) Replica {
+	if c.crashed[id] {
+		return nil
+	}
+	return c.replicas[id]
+}
+
+// NewClient attaches a fresh client to the cluster.
+func (c *Cluster) NewClient(timeout time.Duration) (*client.Client, error) {
+	id := c.nextClient
+	c.nextClient++
+	return client.New(client.Options{
+		Config:   c.Cfg,
+		ID:       id,
+		Endpoint: c.Net.Endpoint(id),
+		Timeout:  timeout,
+	})
+}
+
+// Crash stops replica id and detaches it from the network, simulating
+// a fail-stop fault.
+func (c *Cluster) Crash(id uint32) {
+	if c.crashed[id] {
+		return
+	}
+	c.crashed[id] = true
+	c.Net.Isolate(id)
+	c.replicas[id].Stop()
+}
+
+// Hijack stops replica id and hands its network identity to the
+// caller: the returned endpoint sends and receives as that replica.
+// It is the entry point for Byzantine fault-injection tests — the
+// attacker holds the replica's network position but not its trusted
+// subsystem (enclave state dies with the replica, as it would under
+// SGX when the host is compromised).
+func (c *Cluster) Hijack(id uint32) transport.Endpoint {
+	if !c.crashed[id] {
+		c.crashed[id] = true
+		c.replicas[id].Stop()
+	}
+	return c.Net.Endpoint(id)
+}
+
+// Partition cuts the link between two replicas.
+func (c *Cluster) Partition(a, b uint32) { c.Net.Partition(a, b) }
+
+// Isolate cuts replica a off from everyone.
+func (c *Cluster) Isolate(a uint32) { c.Net.Isolate(a) }
+
+// Heal repairs one link.
+func (c *Cluster) Heal(a, b uint32) { c.Net.Heal(a, b) }
+
+// HealAll repairs all partitions.
+func (c *Cluster) HealAll() { c.Net.HealAll() }
+
+// Stop shuts the whole cluster down.
+func (c *Cluster) Stop() {
+	for id, r := range c.replicas {
+		if r != nil && !c.crashed[id] {
+			r.Stop()
+		}
+	}
+	c.Net.Close()
+}
+
+// WaitExecuted blocks until every live replica executed at least
+// order o, or the deadline passes.
+func (c *Cluster) WaitExecuted(o timeline.Order, deadline time.Duration) error {
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		all := true
+		for id, r := range c.replicas {
+			if c.crashed[id] {
+				continue
+			}
+			if r.LastExecuted() < o {
+				all = false
+				break
+			}
+		}
+		if all {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("cluster: not all replicas reached order %d within %v", o, deadline)
+}

@@ -1,0 +1,92 @@
+// Package cop provides the building blocks of the consensus-oriented
+// parallelization scheme (Behl et al., Middleware '15) that HybsterX
+// and the PBFT baseline are built on: replicas are composed of equal
+// processing units — pillars — that share no state and communicate via
+// asynchronous in-memory message passing only (§5.3).
+//
+// The Mailbox is that in-memory message channel: an unbounded
+// multi-producer single-consumer queue. Unboundedness matters — the
+// internal protocols between pillars, coordinator, and execution stage
+// form cycles (e.g. pillar → executor → coordinator → pillar for
+// checkpoints), and bounded channels could deadlock under bursts.
+// Memory remains bounded because every producer is itself throttled by
+// the ordering window.
+package cop
+
+import "sync"
+
+// Mailbox is an unbounded MPSC queue. The zero value is not usable;
+// create with NewMailbox.
+type Mailbox[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []T
+	closed bool
+}
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox[T any]() *Mailbox[T] {
+	m := &Mailbox[T]{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Put enqueues v. Puts on a closed mailbox are silently discarded
+// (shutdown races are benign).
+func (m *Mailbox[T]) Put(v T) {
+	m.mu.Lock()
+	if !m.closed {
+		m.queue = append(m.queue, v)
+		m.cond.Signal()
+	}
+	m.mu.Unlock()
+}
+
+// Get dequeues the next value, blocking until one is available or the
+// mailbox closes. ok is false when the mailbox is closed and drained.
+func (m *Mailbox[T]) Get() (v T, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return v, false
+	}
+	v = m.queue[0]
+	// Shift instead of reslice to let the backing array shrink; the
+	// queue is usually near-empty.
+	copy(m.queue, m.queue[1:])
+	m.queue = m.queue[:len(m.queue)-1]
+	return v, true
+}
+
+// TryGet dequeues without blocking; ok is false if the mailbox is
+// empty or closed.
+func (m *Mailbox[T]) TryGet() (v T, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) == 0 {
+		return v, false
+	}
+	v = m.queue[0]
+	copy(m.queue, m.queue[1:])
+	m.queue = m.queue[:len(m.queue)-1]
+	return v, true
+}
+
+// Len returns the number of queued values.
+func (m *Mailbox[T]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// Close wakes all blocked consumers; queued values may still be
+// drained with Get/TryGet.
+func (m *Mailbox[T]) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}

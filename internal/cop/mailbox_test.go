@@ -1,0 +1,113 @@
+package cop
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMailboxFIFO(t *testing.T) {
+	m := NewMailbox[int]()
+	for i := 0; i < 100; i++ {
+		m.Put(i)
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := m.Get()
+		if !ok || v != i {
+			t.Fatalf("Get = %d,%v want %d", v, ok, i)
+		}
+	}
+}
+
+func TestMailboxBlockingGet(t *testing.T) {
+	m := NewMailbox[string]()
+	done := make(chan string)
+	go func() {
+		v, _ := m.Get()
+		done <- v
+	}()
+	m.Put("hello")
+	if got := <-done; got != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMailboxCloseUnblocks(t *testing.T) {
+	m := NewMailbox[int]()
+	done := make(chan bool)
+	go func() {
+		_, ok := m.Get()
+		done <- ok
+	}()
+	m.Close()
+	if ok := <-done; ok {
+		t.Fatal("Get returned ok after close on empty mailbox")
+	}
+}
+
+func TestMailboxDrainAfterClose(t *testing.T) {
+	m := NewMailbox[int]()
+	m.Put(1)
+	m.Put(2)
+	m.Close()
+	m.Put(3) // discarded
+	if v, ok := m.Get(); !ok || v != 1 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if v, ok := m.Get(); !ok || v != 2 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if _, ok := m.Get(); ok {
+		t.Fatal("discarded value delivered")
+	}
+}
+
+func TestMailboxTryGet(t *testing.T) {
+	m := NewMailbox[int]()
+	if _, ok := m.TryGet(); ok {
+		t.Fatal("TryGet on empty mailbox succeeded")
+	}
+	m.Put(7)
+	if v, ok := m.TryGet(); !ok || v != 7 {
+		t.Fatalf("TryGet = %d,%v", v, ok)
+	}
+}
+
+func TestMailboxConcurrentProducers(t *testing.T) {
+	m := NewMailbox[int]()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Put(base + i)
+			}
+		}(w * per)
+	}
+	seen := make(map[int]bool)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < workers*per; i++ {
+			v, ok := m.Get()
+			if !ok {
+				t.Error("closed early")
+				return
+			}
+			if seen[v] {
+				t.Errorf("duplicate %d", v)
+				return
+			}
+			seen[v] = true
+		}
+	}()
+	wg.Wait()
+	<-done
+	if len(seen) != workers*per {
+		t.Fatalf("received %d of %d", len(seen), workers*per)
+	}
+}

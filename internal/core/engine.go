@@ -1,0 +1,372 @@
+// Package core implements Hybster (§5), the paper's contribution: a
+// highly parallelizable hybrid state-machine replication protocol built
+// on TrInX trusted counters.
+//
+// One Engine is one replica. The engine is organized as the
+// consensus-oriented parallelization of §5.3: a configurable number of
+// pillars — equal, share-nothing processing units, each with its own
+// TrInX instance — plus an execution stage and a coordinator that runs
+// the replica-local parts of checkpointing, view changes, and state
+// transfer. With a single pillar the engine is exactly the sequential
+// basic protocol of §5.2 (the HybsterS configuration); with one pillar
+// per core it is HybsterX.
+//
+// Messages flow:
+//
+//	transport → route → pillar mailboxes   (PREPARE, COMMIT, CHECKPOINT)
+//	                  → coordinator        (VIEW-CHANGE, NEW-VIEW, ACK, state transfer)
+//	                  → sequencer          (REQUEST admission)
+//	pillars → execution mailbox → application → REPLY to clients
+//	execution → coordinator               (checkpoint digests)
+//	coordinator ↔ pillars                 (view-change/checkpoint events)
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybster/internal/config"
+	"hybster/internal/crypto"
+	"hybster/internal/enclave"
+	"hybster/internal/message"
+	"hybster/internal/statemachine"
+	"hybster/internal/timeline"
+	"hybster/internal/transport"
+	"hybster/internal/trinx"
+)
+
+// Trusted counter IDs within each pillar's TrInX instance.
+const (
+	counterO    uint32 = 0 // ordering counter (§5.2.1)
+	counterM    uint32 = 1 // checkpoint trusted-MAC counter (§5.2.2)
+	numCounters        = 2
+)
+
+// coordinatorPillar is the pillar index used in the instance ID of the
+// coordinator's TrInX instance (it only verifies and issues trusted
+// MACs for view-change auxiliaries).
+const coordinatorPillar uint32 = 0xffff
+
+// Options bundle the dependencies of an Engine.
+type Options struct {
+	// Config is the validated group configuration.
+	Config config.Config
+	// ID is this replica's ID in [0, N).
+	ID uint32
+	// Endpoint connects the replica to the group.
+	Endpoint transport.Endpoint
+	// Application is the replicated service.
+	Application statemachine.Application
+	// Platform hosts the TrInX enclaves.
+	Platform *enclave.Platform
+	// EnclaveCost is the simulated SGX cost model for TrInX calls.
+	EnclaveCost enclave.CostModel
+	// Now optionally overrides the time source (tests).
+	Now func() time.Time
+}
+
+// Engine is one Hybster replica.
+type Engine struct {
+	cfg config.Config
+	id  uint32
+	ep  transport.Endpoint
+	ks  *crypto.KeyStore
+	now func() time.Time
+
+	pillars []*pillar
+	exec    *execLoop
+	coord   *coordinator
+	seq     *sequencer
+
+	// curView mirrors the coordinator's stable view for lock-free
+	// reads on hot paths.
+	curView atomic.Uint64
+
+	// progress tracking for the view-change watchdog.
+	pendingSince atomic.Int64 // unix nanos of oldest unserved work; 0 = none
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New assembles a replica engine. Call Start to begin processing.
+func New(opts Options) (*Engine, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	key := crypto.NewKeyFromSeed(opts.Config.KeySeed)
+	e := &Engine{
+		cfg:     opts.Config,
+		id:      opts.ID,
+		ep:      opts.Endpoint,
+		ks:      crypto.NewKeyStore(opts.ID, key),
+		now:     opts.Now,
+		stopped: make(chan struct{}),
+	}
+	e.exec = newExecLoop(e, opts.Application)
+	e.coord = newCoordinator(e, trinx.New(opts.Platform,
+		trinx.MakeInstanceID(opts.ID, coordinatorPillar), numCounters, key, opts.EnclaveCost))
+	e.pillars = make([]*pillar, opts.Config.Pillars)
+	for u := range e.pillars {
+		tx := trinx.New(opts.Platform, trinx.MakeInstanceID(opts.ID, uint32(u)), numCounters, key, opts.EnclaveCost)
+		e.pillars[u] = newPillar(e, uint32(u), tx)
+	}
+	e.seq = newSequencer(e)
+	return e, nil
+}
+
+// ID returns the replica ID.
+func (e *Engine) ID() uint32 { return e.id }
+
+// Config returns the group configuration.
+func (e *Engine) Config() config.Config { return e.cfg }
+
+// View returns the replica's current stable view.
+func (e *Engine) View() timeline.View { return timeline.View(e.curView.Load()) }
+
+// LastExecuted returns the highest executed order number (diagnostics
+// and tests).
+func (e *Engine) LastExecuted() timeline.Order { return e.exec.lastExecuted() }
+
+// Start launches the replica's goroutines and installs the transport
+// handler.
+func (e *Engine) Start() {
+	e.ep.Handle(e.route)
+	for _, p := range e.pillars {
+		e.wg.Add(1)
+		go func(p *pillar) { defer e.wg.Done(); p.run() }(p)
+	}
+	e.wg.Add(2)
+	go func() { defer e.wg.Done(); e.exec.run() }()
+	go func() { defer e.wg.Done(); e.coord.run() }()
+}
+
+// Stop shuts the replica down and waits for its goroutines.
+func (e *Engine) Stop() {
+	e.stopOnce.Do(func() {
+		close(e.stopped)
+		_ = e.ep.Close()
+		for _, p := range e.pillars {
+			p.inbox.Close()
+		}
+		e.exec.inbox.Close()
+		e.coord.inbox.Close()
+		e.wg.Wait()
+		for _, p := range e.pillars {
+			p.tx.Destroy()
+		}
+		e.coord.tx.Destroy()
+	})
+}
+
+// route dispatches an inbound message to the component that owns it.
+// It runs on transport goroutines and does no crypto.
+func (e *Engine) route(from uint32, m message.Message) {
+	switch v := m.(type) {
+	case *message.Request:
+		e.seq.admit(v)
+	case *message.Prepare:
+		e.pillarFor(v.Order).inbox.Put(inMsg{from, m})
+	case *message.Commit:
+		e.pillarFor(v.Order).inbox.Put(inMsg{from, m})
+	case *message.Checkpoint:
+		e.pillars[e.cfg.CheckpointPillar(v.Order)%uint32(len(e.pillars))].inbox.Put(inMsg{from, m})
+	case *message.ViewChange, *message.NewView, *message.NewViewAck,
+		*message.StateRequest, *message.StateReply:
+		e.coord.inbox.Put(inMsg{from, m})
+	default:
+		// Unknown or foreign-protocol message: drop.
+	}
+}
+
+func (e *Engine) pillarFor(o timeline.Order) *pillar {
+	return e.pillars[e.cfg.PillarOf(o)%uint32(len(e.pillars))]
+}
+
+// noteWork records the arrival of work for the watchdog.
+func (e *Engine) noteWork() {
+	if e.pendingSince.Load() == 0 {
+		e.pendingSince.CompareAndSwap(0, e.now().UnixNano())
+	}
+}
+
+// noteProgress records execution progress: if the executor has no
+// buffered instances the pending marker clears, otherwise it restarts.
+func (e *Engine) noteProgress(stillPending bool) {
+	if stillPending {
+		e.pendingSince.Store(e.now().UnixNano())
+	} else {
+		e.pendingSince.Store(0)
+	}
+}
+
+// inMsg is an inbound protocol message tagged with its sender.
+type inMsg struct {
+	from uint32
+	msg  message.Message
+}
+
+// --- sequencer -------------------------------------------------------------
+
+// sequencer admits client requests and assigns order numbers to the
+// proposals this replica is responsible for. Without rotation the
+// leader proposes every order number and followers forward requests to
+// it; with rotation every replica proposes the requests it receives,
+// using the order numbers of its rotation slot (§6.2).
+type sequencer struct {
+	e *Engine
+
+	mu       sync.Mutex
+	queue    []*message.Request
+	next     timeline.Order // next order number to propose from our slot
+	inFlight map[uint32]int // proposals awaiting commit, per pillar
+}
+
+// maxInFlightPerPillar bounds un-committed own proposals per pillar;
+// beyond it requests accumulate in the queue, which is what makes
+// batches grow under load.
+const maxInFlightPerPillar = 4
+
+func newSequencer(e *Engine) *sequencer {
+	s := &sequencer{e: e, inFlight: make(map[uint32]int)}
+	s.next = s.firstSlot(0, 0)
+	return s
+}
+
+// firstSlot returns the smallest order > after that this replica
+// proposes in view v. Without rotation a non-leader proposes nothing;
+// the returned cursor is then a placeholder that resetForView fixes on
+// the next leadership change.
+func (s *sequencer) firstSlot(v timeline.View, after timeline.Order) timeline.Order {
+	if !s.e.cfg.RotateLeader && s.e.cfg.LeaderOf(v) != s.e.id {
+		return after + 1
+	}
+	o := after + 1
+	for s.e.cfg.ProposerOf(v, o) != s.e.id {
+		o++
+	}
+	return o
+}
+
+// admit ingests a client request from the transport. It verifies the
+// client's authenticator; valid requests are queued for proposing if
+// this replica is a proposer, or forwarded to the current leader
+// otherwise.
+func (s *sequencer) admit(r *message.Request) {
+	if !crypto.VerifyAuthenticator(s.e.ks, r.Auth, r.Digest()) {
+		return
+	}
+	s.e.noteWork()
+	v := s.e.View()
+	if !s.e.cfg.RotateLeader && s.e.cfg.LeaderOf(v) != s.e.id {
+		// Followers relay to the leader; the client's own timeout
+		// multicast already reaches it in the common case, so relaying
+		// is best effort.
+		_ = s.e.ep.Send(s.e.cfg.LeaderOf(v), r)
+		return
+	}
+	s.mu.Lock()
+	s.queue = append(s.queue, r)
+	s.mu.Unlock()
+	s.pump()
+}
+
+// pump proposes as many batches as in-flight credits allow.
+func (s *sequencer) pump() {
+	v := s.e.View()
+	if !s.e.cfg.RotateLeader && s.e.cfg.LeaderOf(v) != s.e.id {
+		// Not a proposer in this view (e.g. demoted by a view change):
+		// relay anything still queued to the new leader.
+		s.mu.Lock()
+		queued := s.queue
+		s.queue = nil
+		s.mu.Unlock()
+		for _, r := range queued {
+			_ = s.e.ep.Send(s.e.cfg.LeaderOf(v), r)
+		}
+		return
+	}
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		o := s.next
+		u := s.e.cfg.PillarOf(o) % uint32(len(s.e.pillars))
+		if s.inFlight[u] >= maxInFlightPerPillar {
+			s.mu.Unlock()
+			return
+		}
+		n := len(s.queue)
+		if n > s.e.cfg.BatchSize {
+			n = s.e.cfg.BatchSize
+		}
+		batch := make([]*message.Request, n)
+		copy(batch, s.queue[:n])
+		s.queue = append(s.queue[:0], s.queue[n:]...)
+		s.next = s.nextSlot(v, o)
+		s.inFlight[u]++
+		s.mu.Unlock()
+
+		s.e.pillars[u].inbox.Put(evPropose{view: v, order: o, batch: batch})
+	}
+}
+
+// nextSlot returns the next order after o proposed by this replica.
+func (s *sequencer) nextSlot(v timeline.View, o timeline.Order) timeline.Order {
+	if !s.e.cfg.RotateLeader && s.e.cfg.LeaderOf(v) != s.e.id {
+		return o + 1
+	}
+	n := o + 1
+	for s.e.cfg.ProposerOf(v, n) != s.e.id {
+		n++
+	}
+	return n
+}
+
+// credit returns an in-flight slot for pillar u and pumps the queue.
+func (s *sequencer) credit(u uint32) {
+	s.mu.Lock()
+	if s.inFlight[u] > 0 {
+		s.inFlight[u]--
+	}
+	s.mu.Unlock()
+	s.pump()
+}
+
+// proposeNoop issues an empty proposal for order o if it belongs to
+// this replica in view v; used to close execution gaps (§5.3.1).
+func (s *sequencer) proposeNoop(v timeline.View, o timeline.Order) {
+	if s.e.cfg.ProposerOf(v, o) != s.e.id {
+		return
+	}
+	s.mu.Lock()
+	if o < s.next {
+		s.mu.Unlock()
+		return // already proposed (or will be covered by the queue)
+	}
+	// Skip the slot cursor past o so regular proposals continue after
+	// the no-op.
+	for s.next <= o {
+		s.next = s.nextSlot(v, s.next)
+	}
+	s.mu.Unlock()
+	u := s.e.cfg.PillarOf(o) % uint32(len(s.e.pillars))
+	s.e.pillars[u].inbox.Put(evPropose{view: v, order: o, batch: nil})
+}
+
+// resetForView realigns the proposal cursor after a view change: the
+// replica's first slot after the re-proposed range.
+func (s *sequencer) resetForView(v timeline.View, after timeline.Order) {
+	s.mu.Lock()
+	s.next = s.firstSlot(v, after)
+	s.inFlight = make(map[uint32]int)
+	s.mu.Unlock()
+	s.pump()
+}

@@ -1,0 +1,431 @@
+package core
+
+import (
+	"fmt"
+
+	"hybster/internal/message"
+	"hybster/internal/timeline"
+	"hybster/internal/transport"
+	"hybster/internal/trinx"
+)
+
+// computeTransfer derives the state transferred into a new view from a
+// set of logical VIEW-CHANGEs (and acknowledgments): the starting
+// checkpoint (the newest among the quorum) and, for every order number
+// from there to the highest disclosed prepare, the batch to re-propose
+// — the highest-view prepare wins, gaps become no-ops (§5.2.3, §5.3.3).
+func computeTransfer(vcSet map[uint32][]*message.ViewChange, ackSet map[uint32][]*message.NewViewAck) (startCkpt timeline.Order, props []reProposal) {
+	best := make(map[timeline.Order]*message.Prepare)
+	merge := func(ps []*message.Prepare) {
+		for _, p := range ps {
+			if cur, ok := best[p.Order]; !ok || p.View > cur.View {
+				best[p.Order] = p
+			}
+		}
+	}
+	for _, parts := range vcSet {
+		for _, part := range parts {
+			if part.CkptOrder > startCkpt {
+				startCkpt = part.CkptOrder
+			}
+			merge(part.Prepares)
+		}
+	}
+	for _, parts := range ackSet {
+		for _, a := range parts {
+			if a != nil {
+				merge(a.Prepares)
+			}
+		}
+	}
+	var maxO timeline.Order
+	for o := range best {
+		if o > maxO {
+			maxO = o
+		}
+	}
+	for o := startCkpt + 1; o <= maxO; o++ {
+		var batch []*message.Request
+		if p, ok := best[o]; ok {
+			batch = p.Requests
+		}
+		props = append(props, reProposal{order: o, batch: batch})
+	}
+	return startCkpt, props
+}
+
+// completeAcks returns the logical (all pillar parts present)
+// acknowledgments for view v, keyed by replica.
+func (c *coordinator) completeAcks(v timeline.View) map[uint32][]*message.NewViewAck {
+	out := make(map[uint32][]*message.NewViewAck)
+	for r, parts := range c.acks[v] {
+		ok := len(parts) > 0
+		for _, p := range parts {
+			if p == nil {
+				ok = false
+			}
+		}
+		if ok {
+			out[r] = parts
+		}
+	}
+	return out
+}
+
+// checkFromRule verifies the new-view-acknowledgment condition of
+// §5.2.3: the highest v_from among the quorum's VIEW-CHANGEs must be
+// confirmed as properly established by at least f+1 replicas — either
+// through VCs with that v_from or through NEW-VIEW-ACKs for it.
+func (c *coordinator) checkFromRule(vcSet map[uint32][]*message.ViewChange, ackSet map[uint32][]*message.NewViewAck) (timeline.View, bool) {
+	var vmax timeline.View
+	for _, parts := range vcSet {
+		if parts[0].From > vmax {
+			vmax = parts[0].From
+		}
+	}
+	if vmax == 0 {
+		return 0, true // the initial view is established by definition
+	}
+	confirm := make(map[uint32]bool)
+	for r, parts := range vcSet {
+		if parts[0].From == vmax {
+			confirm[r] = true
+		}
+	}
+	for r, parts := range ackSet {
+		if parts[0].View == vmax {
+			confirm[r] = true
+		}
+	}
+	return vmax, len(confirm) >= c.e.cfg.F()+1
+}
+
+// maybeEmitNewView attempts to produce the NEW-VIEW for view w; the
+// replica must be w's designated leader and must itself have aborted
+// into w.
+func (c *coordinator) maybeEmitNewView(w timeline.View) {
+	if c.nvEmitted[w] || c.e.cfg.LeaderOf(w) != c.e.id {
+		return
+	}
+	if !c.pending || c.pendingTo != w {
+		return
+	}
+	vcSet := c.completeVCs(w)
+	if len(vcSet) < c.e.cfg.Quorum() {
+		return
+	}
+	vmax, ok := c.checkFromRule(vcSet, c.completeAcks(maxFrom(vcSet)))
+	if !ok {
+		return
+	}
+	ackSet := c.completeAcks(vmax)
+	startCkpt, props := computeTransfer(vcSet, ackSet)
+	if startCkpt > c.lastStable.order {
+		// The quorum is ahead of our state; fetch it first and retry
+		// when the transfer completes.
+		c.maybeRequestState()
+		return
+	}
+
+	// Certify the re-proposals on their responsible pillars.
+	pillars := len(c.e.pillars)
+	byPillar := make([][]reProposal, pillars)
+	for _, rp := range props {
+		u := c.e.cfg.PillarOf(rp.order) % uint32(pillars)
+		byPillar[u] = append(byPillar[u], rp)
+	}
+	newPreps := make([][]*message.Prepare, pillars)
+	for u := 0; u < pillars; u++ {
+		reply := make(chan []*message.Prepare, 1)
+		c.e.pillars[u].inbox.Put(evRepropose{view: w, props: byPillar[u], reply: reply})
+		var ps []*message.Prepare
+		select {
+		case ps = <-reply:
+		case <-c.e.stopped:
+			return
+		}
+		if ps == nil && len(byPillar[u]) > 0 {
+			return // counter refused; stale attempt
+		}
+		newPreps[u] = ps
+	}
+
+	// Assemble and send the per-pillar NEW-VIEW parts.
+	parts := make([]*message.NewView, pillars)
+	for u := 0; u < pillars; u++ {
+		nv := &message.NewView{View: w, Pillar: uint32(u)}
+		for _, vcParts := range vcSet {
+			nv.VCs = append(nv.VCs, vcParts[u])
+		}
+		for _, ackParts := range ackSet {
+			nv.Acks = append(nv.Acks, ackParts[u])
+		}
+		nv.Prepares = newPreps[u]
+		cert, err := c.tx.CreateTrustedMAC(counterM, nv.Digest())
+		if err != nil {
+			return
+		}
+		nv.Cert = cert
+		parts[u] = nv
+	}
+	for _, nv := range parts {
+		transport.Multicast(c.e.ep, c.e.cfg.N, nv)
+	}
+	c.lastNV = parts
+	c.nvEmitted[w] = true
+	c.installNewView(w, startCkpt, newPreps, true, vcSet)
+}
+
+func maxFrom(vcSet map[uint32][]*message.ViewChange) timeline.View {
+	var vmax timeline.View
+	for _, parts := range vcSet {
+		if parts[0].From > vmax {
+			vmax = parts[0].From
+		}
+	}
+	return vmax
+}
+
+// handleNewView ingests one NEW-VIEW part from the leader of its view.
+func (c *coordinator) handleNewView(from uint32, nv *message.NewView) {
+	w := nv.View
+	if w <= c.curView {
+		return
+	}
+	if from != c.e.cfg.LeaderOf(w) {
+		return
+	}
+	if int(nv.Pillar) >= len(c.e.pillars) {
+		return
+	}
+	if nv.Cert.Kind != trinx.Continuing || nv.Cert.Value != nv.Cert.Prev ||
+		nv.Cert.Issuer.Replica() != from {
+		return
+	}
+	if err := c.tx.Verify(nv.Cert, nv.Digest()); err != nil {
+		return
+	}
+	parts := c.nvParts[w]
+	if parts == nil {
+		parts = make([]*message.NewView, len(c.e.pillars))
+		c.nvParts[w] = parts
+	}
+	if parts[nv.Pillar] == nil {
+		parts[nv.Pillar] = nv
+	}
+	for _, p := range parts {
+		if p == nil {
+			return // incomplete; wait for the remaining parts
+		}
+	}
+	c.processNewView(w, parts)
+}
+
+// processNewView validates a complete NEW-VIEW exactly as the leader
+// must have computed it, then either installs the view or — if this
+// replica already aborted it — acknowledges it (§5.2.3).
+func (c *coordinator) processNewView(w timeline.View, parts []*message.NewView) {
+	vcSet, ackSet, err := c.reassemble(w, parts)
+	if err != nil {
+		delete(c.nvParts, w)
+		return
+	}
+	if len(vcSet) < c.e.cfg.Quorum() {
+		return
+	}
+	if _, ok := c.checkFromRule(vcSet, ackSet); !ok {
+		return
+	}
+	startCkpt, props := computeTransfer(vcSet, ackSet)
+
+	// Validate the leader's re-proposals against our own computation.
+	leader := c.e.cfg.LeaderOf(w)
+	pillars := len(c.e.pillars)
+	newPreps := make([][]*message.Prepare, pillars)
+	total := 0
+	expected := make(map[timeline.Order][]*message.Request, len(props))
+	for _, rp := range props {
+		expected[rp.order] = rp.batch
+	}
+	for u, nv := range parts {
+		for _, p := range nv.Prepares {
+			if p.View != w || p.Order <= startCkpt {
+				return
+			}
+			if c.e.cfg.PillarOf(p.Order)%uint32(pillars) != uint32(u) {
+				return
+			}
+			if p.Cert.Issuer != trinx.MakeInstanceID(leader, uint32(u)) ||
+				p.Cert.Kind != trinx.Independent ||
+				p.Cert.Value != uint64(timeline.Pack(w, p.Order)) {
+				return
+			}
+			if err := c.tx.Verify(p.Cert, p.Digest()); err != nil {
+				return
+			}
+			want, ok := expected[p.Order]
+			if !ok || message.BatchDigest(want) != p.BatchDigest() {
+				return
+			}
+			delete(expected, p.Order)
+			newPreps[u] = append(newPreps[u], p)
+			total++
+		}
+		sortPrepares(newPreps[u])
+	}
+	if total != len(props) || len(expected) != 0 {
+		return // leader omitted or invented instances
+	}
+
+	for _, ps := range newPreps {
+		c.mergeLearned(ps)
+	}
+
+	if c.pending && c.pendingTo > w {
+		// Already aborted this view: acknowledge instead of installing
+		// so a future leader can count view w as properly established.
+		c.sendAcks(w, newPreps)
+		return
+	}
+	c.lastNV = parts
+	c.installNewView(w, startCkpt, newPreps, false, vcSet)
+}
+
+// reassemble reconstructs logical VIEW-CHANGEs and acknowledgments
+// from the per-pillar NEW-VIEW parts, verifying every piece.
+func (c *coordinator) reassemble(w timeline.View, parts []*message.NewView) (map[uint32][]*message.ViewChange, map[uint32][]*message.NewViewAck, error) {
+	pillars := len(c.e.pillars)
+	vcSet := make(map[uint32][]*message.ViewChange)
+	ackSet := make(map[uint32][]*message.NewViewAck)
+	for u, nv := range parts {
+		for _, vc := range nv.VCs {
+			if vc.To != w || int(vc.Pillar) != u {
+				return nil, nil, fmt.Errorf("core: misplaced VC part")
+			}
+			if err := c.e.verifyViewChangePart(c.tx, vc); err != nil {
+				return nil, nil, err
+			}
+			ps := vcSet[vc.Replica]
+			if ps == nil {
+				ps = make([]*message.ViewChange, pillars)
+				vcSet[vc.Replica] = ps
+			}
+			ps[u] = vc
+		}
+		for _, a := range nv.Acks {
+			if int(a.Pillar) != u {
+				return nil, nil, fmt.Errorf("core: misplaced ack part")
+			}
+			if err := c.e.verifyNewViewAckPart(c.tx, a); err != nil {
+				return nil, nil, err
+			}
+			ps := ackSet[a.Replica]
+			if ps == nil {
+				ps = make([]*message.NewViewAck, pillars)
+				ackSet[a.Replica] = ps
+			}
+			ps[u] = a
+		}
+	}
+	for r, ps := range vcSet {
+		if !logicalVCComplete(ps) {
+			delete(vcSet, r)
+		}
+	}
+	for r, ps := range ackSet {
+		for _, p := range ps {
+			if p == nil {
+				delete(ackSet, r)
+				break
+			}
+		}
+	}
+	return vcSet, ackSet, nil
+}
+
+// sendAcks multicasts per-pillar NEW-VIEW-ACKs for view w carrying the
+// prepares learned from its NEW-VIEW.
+func (c *coordinator) sendAcks(w timeline.View, newPreps [][]*message.Prepare) {
+	for u := range c.e.pillars {
+		ack := &message.NewViewAck{Replica: c.e.id, Pillar: uint32(u), View: w, Prepares: newPreps[u]}
+		cert, err := c.tx.CreateTrustedMAC(counterM, ack.Digest())
+		if err != nil {
+			return
+		}
+		ack.Cert = cert
+		transport.Multicast(c.e.ep, c.e.cfg.N, ack)
+	}
+}
+
+// installNewView makes view w stable: updates coordinator and engine
+// state, slides windows, hands each pillar its re-proposals, and
+// realigns the sequencer past the transferred range.
+func (c *coordinator) installNewView(w timeline.View, startCkpt timeline.Order, newPreps [][]*message.Prepare, leader bool, vcSet map[uint32][]*message.ViewChange) {
+	c.curView = w
+	c.e.curView.Store(uint64(w))
+	c.pending = false
+	c.pendingTo = 0
+	if c.desired < w {
+		c.desired = w
+	}
+
+	// Adopt the new-view checkpoint if it is ahead of ours; the proof
+	// comes from any VC that declared it.
+	if startCkpt > c.lastStable.order {
+		for _, parts := range vcSet {
+			if parts[0].CkptOrder == startCkpt {
+				c.lastStable = stableCkpt{
+					order:  startCkpt,
+					digest: parts[0].CkptDigest,
+					proof:  parts[0].CkptProof,
+				}
+				break
+			}
+		}
+		if startCkpt > c.e.exec.lastExecuted() {
+			c.maybeRequestState()
+		}
+	}
+
+	var maxOrder timeline.Order = startCkpt
+	for u, ps := range newPreps {
+		c.e.pillars[u].inbox.Put(evInstallView{
+			view: w, startCkpt: startCkpt, prepares: ps, leader: leader,
+		})
+		for _, p := range ps {
+			if p.Order > maxOrder {
+				maxOrder = p.Order
+			}
+		}
+	}
+
+	// Prune stores for superseded views.
+	for v := range c.vcs {
+		if v <= w {
+			delete(c.vcs, v)
+		}
+	}
+	for v := range c.acks {
+		if v <= w {
+			delete(c.acks, v)
+		}
+	}
+	for v := range c.nvParts {
+		if v <= w {
+			delete(c.nvParts, v)
+		}
+	}
+	for v := range c.ownVC {
+		if v <= w {
+			delete(c.ownVC, v)
+		}
+	}
+	for v := range c.nvEmitted {
+		if v < w {
+			delete(c.nvEmitted, v)
+		}
+	}
+
+	c.e.seq.resetForView(w, maxOrder)
+	c.e.noteProgress(false)
+}

@@ -1,0 +1,501 @@
+package core
+
+import (
+	"hybster/internal/checkpoint"
+	"hybster/internal/cop"
+	"hybster/internal/message"
+	"hybster/internal/timeline"
+	"hybster/internal/transport"
+	"hybster/internal/trinx"
+)
+
+// Events delivered to pillar mailboxes (besides inbound protocol
+// messages wrapped in inMsg).
+type (
+	// evPropose instructs the pillar to propose a batch for an order
+	// number this replica owns.
+	evPropose struct {
+		view  timeline.View
+		order timeline.Order
+		batch []*message.Request
+	}
+	// evCkptDue tells the owning pillar to run the checkpoint protocol
+	// instance for the given digest (execution stage reached the
+	// interval boundary).
+	evCkptDue struct {
+		order  timeline.Order
+		digest [32]byte
+	}
+	// evAdvance announces a stable checkpoint: slide the window.
+	evAdvance struct{ order timeline.Order }
+	// evCollectVC asks the pillar for its part of a VIEW-CHANGE
+	// message and suspends ordering (§5.3.3, local view-change
+	// preparation).
+	evCollectVC struct {
+		from      timeline.View
+		to        timeline.View
+		ckptOrder timeline.Order
+		ckptDig   [32]byte
+		ckptProof []*message.Checkpoint
+		// learned carries coordinator-learned prepares of this
+		// pillar's class to propagate.
+		learned []*message.Prepare
+		reply   chan *message.ViewChange
+	}
+	// evRepropose asks the (new-leader) pillar to certify re-proposals
+	// for the new view.
+	evRepropose struct {
+		view  timeline.View
+		props []reProposal
+		reply chan []*message.Prepare
+	}
+	// evInstallView installs a stable new view on the pillar.
+	evInstallView struct {
+		view      timeline.View
+		startCkpt timeline.Order
+		// prepares are the verified re-proposals of this pillar's
+		// class, ascending.
+		prepares []*message.Prepare
+		leader   bool // true when this replica produced the prepares
+	}
+	// evTick drives retransmission.
+	evTick struct{}
+)
+
+// reProposal is one instance the new leader transfers into its view.
+type reProposal struct {
+	order timeline.Order
+	batch []*message.Request
+}
+
+// pillar is one processing unit of the consensus-oriented
+// parallelization: it owns the consensus instances of its order-number
+// class (o mod P == idx), a private TrInX instance, a private ordering
+// window, and a private checkpoint tracker for the checkpoint
+// instances it is responsible for. All state is confined to the run
+// goroutine.
+type pillar struct {
+	e     *Engine
+	idx   uint32
+	tx    *trinx.TrInX
+	inbox *cop.Mailbox[any]
+
+	view    timeline.View
+	aborted bool
+	win     *window
+	ckpts   *checkpoint.Tracker[*message.Checkpoint]
+
+	// cursor is the next class order this pillar will certify; the
+	// trusted counter forces ascending certification within the
+	// pillar's timeline.
+	cursor timeline.Order
+	// pendingProps holds own proposals waiting for the cursor.
+	pendingProps map[timeline.Order]evPropose
+	// pendingPreps holds verified foreign prepares waiting for the
+	// cursor.
+	pendingPreps map[timeline.Order]*message.Prepare
+	// ownMsg retains this pillar's sent ordering message per order
+	// for retransmission; garbage collected with the window.
+	ownMsg map[timeline.Order]message.Message
+	// ownCkpt retains own checkpoint announcements for retransmission.
+	ownCkpt map[timeline.Order]*message.Checkpoint
+}
+
+// window aliases order.Window; kept as a named type local to the
+// package for brevity.
+type window = orderWindow
+
+func newPillar(e *Engine, idx uint32, tx *trinx.TrInX) *pillar {
+	p := &pillar{
+		e:            e,
+		idx:          idx,
+		tx:           tx,
+		inbox:        cop.NewMailbox[any](),
+		win:          newOrderWindow(e.cfg.WindowSize, e.cfg.Quorum()),
+		ckpts:        checkpoint.NewTracker[*message.Checkpoint](e.cfg.Quorum()),
+		pendingProps: make(map[timeline.Order]evPropose),
+		pendingPreps: make(map[timeline.Order]*message.Prepare),
+		ownMsg:       make(map[timeline.Order]message.Message),
+		ownCkpt:      make(map[timeline.Order]*message.Checkpoint),
+	}
+	p.cursor = p.firstClassOrder(0)
+	return p
+}
+
+// firstClassOrder returns the smallest order > after belonging to this
+// pillar's class.
+func (p *pillar) firstClassOrder(after timeline.Order) timeline.Order {
+	o := after + 1
+	for p.e.cfg.PillarOf(o)%uint32(len(p.e.pillars)) != p.idx {
+		o++
+	}
+	return o
+}
+
+// run is the pillar event loop.
+func (p *pillar) run() {
+	for {
+		ev, ok := p.inbox.Get()
+		if !ok {
+			return
+		}
+		switch v := ev.(type) {
+		case inMsg:
+			p.handleMessage(v.from, v.msg)
+		case evPropose:
+			p.handlePropose(v)
+		case evCkptDue:
+			p.handleCkptDue(v)
+		case evAdvance:
+			p.advance(v.order)
+		case evCollectVC:
+			p.handleCollectVC(v)
+		case evRepropose:
+			p.handleRepropose(v)
+		case evInstallView:
+			p.handleInstallView(v)
+		case evTick:
+			p.handleTick()
+		}
+	}
+}
+
+func (p *pillar) handleMessage(from uint32, m message.Message) {
+	switch v := m.(type) {
+	case *message.Prepare:
+		p.handlePrepare(from, v)
+	case *message.Commit:
+		p.handleCommit(from, v)
+	case *message.Checkpoint:
+		p.handleCheckpoint(from, v)
+	}
+}
+
+// handlePrepare processes a leader proposal for one of this pillar's
+// instances.
+func (p *pillar) handlePrepare(from uint32, m *message.Prepare) {
+	if m.View != p.view || p.aborted {
+		return
+	}
+	if m.Order > p.win.High() {
+		p.e.coord.inbox.Put(evBehind{order: m.Order})
+		return
+	}
+	if !p.win.InWindow(m.Order) || m.Order < p.cursor {
+		return // already processed or obsolete
+	}
+	if _, dup := p.pendingPreps[m.Order]; dup {
+		return
+	}
+	if err := p.e.verifyPrepare(p.tx, m, from); err != nil {
+		return
+	}
+	p.e.noteWork()
+	p.pendingPreps[m.Order] = m
+	p.processReady()
+}
+
+// handleCommit processes a follower acknowledgment.
+func (p *pillar) handleCommit(from uint32, m *message.Commit) {
+	if m.View != p.view || p.aborted {
+		return
+	}
+	if m.Order > p.win.High() {
+		p.e.coord.inbox.Put(evBehind{order: m.Order})
+		return
+	}
+	if !p.win.InWindow(m.Order) {
+		return
+	}
+	if m.Replica != from {
+		return
+	}
+	if err := p.e.verifyCommit(p.tx, m); err != nil {
+		return
+	}
+	s := p.win.AddCommit(m)
+	p.maybeDeliver(s)
+}
+
+// handlePropose certifies and multicasts an own proposal once the
+// cursor permits.
+func (p *pillar) handlePropose(ev evPropose) {
+	if ev.view != p.view || p.aborted {
+		// Stale proposal from before a view change; requests are
+		// re-proposed by the sequencer after the new view installs,
+		// so return the flow-control credit and drop.
+		p.e.seq.credit(p.idx)
+		return
+	}
+	if ev.order < p.cursor || !p.win.InWindow(ev.order) {
+		p.e.seq.credit(p.idx)
+		return
+	}
+	p.pendingProps[ev.order] = ev
+	p.processReady()
+}
+
+// processReady certifies instances in ascending class order: own
+// proposals become PREPAREs, foreign proposals are acknowledged with
+// COMMITs. The cursor only advances when the next class instance is
+// actionable — the per-pillar virtual timeline of §3.
+func (p *pillar) processReady() {
+	for {
+		o := p.cursor
+		if o > p.win.High() {
+			return
+		}
+		if ev, ok := p.pendingProps[o]; ok {
+			delete(p.pendingProps, o)
+			p.sendPrepare(ev)
+		} else if m, ok := p.pendingPreps[o]; ok {
+			delete(p.pendingPreps, o)
+			p.sendCommit(m)
+		} else {
+			return
+		}
+		p.cursor = p.firstClassOrder(o)
+	}
+}
+
+// sendPrepare issues the independent counter certificate
+// τ(r(u), O, v|o, −) and multicasts the proposal (§5.2.1).
+func (p *pillar) sendPrepare(ev evPropose) {
+	prep := &message.Prepare{View: ev.view, Order: ev.order, Requests: ev.batch}
+	cert, err := p.tx.CreateIndependent(counterO, uint64(timeline.Pack(ev.view, ev.order)), prep.Digest())
+	if err != nil {
+		p.e.seq.credit(p.idx)
+		return // counter already beyond this instance (view changed)
+	}
+	prep.Cert = cert
+	s := p.win.SetPrepare(prep)
+	p.ownMsg[ev.order] = prep
+	transport.Multicast(p.e.ep, p.e.cfg.N, prep)
+	p.maybeDeliver(s)
+}
+
+// sendCommit acknowledges a verified foreign prepare with an
+// independent counter certificate over the same value.
+func (p *pillar) sendCommit(m *message.Prepare) {
+	s := p.win.SetPrepare(m)
+	if s == nil {
+		return
+	}
+	com := &message.Commit{View: m.View, Order: m.Order, Replica: p.e.id, BatchDigest: s.BatchDigest}
+	cert, err := p.tx.CreateIndependent(counterO, uint64(timeline.Pack(m.View, m.Order)), com.Digest())
+	if err != nil {
+		return
+	}
+	com.Cert = cert
+	s.AddOwnAck(p.e.id)
+	p.win.Refresh(s)
+	p.ownMsg[m.Order] = com
+	transport.Multicast(p.e.ep, p.e.cfg.N, com)
+	p.maybeDeliver(s)
+}
+
+// maybeDeliver forwards a freshly committed instance to the execution
+// stage and returns flow-control credit for own proposals.
+func (p *pillar) maybeDeliver(s *slot) {
+	if s == nil || !s.Committed || s.Executed {
+		return
+	}
+	s.Executed = true
+	p.e.exec.inbox.Put(evExec{order: s.Order, batch: s.Prepare.Requests})
+	if s.Prepare.Cert.Issuer.Replica() == p.e.id {
+		p.e.seq.credit(p.idx)
+	}
+}
+
+// handleCkptDue runs this pillar's checkpoint protocol instance
+// (§5.3.2): announce the digest with a trusted MAC certificate.
+func (p *pillar) handleCkptDue(ev evCkptDue) {
+	ck := &message.Checkpoint{Order: ev.order, Replica: p.e.id, StateDigest: ev.digest}
+	cert, err := p.tx.CreateTrustedMAC(counterM, ck.Digest())
+	if err != nil {
+		return
+	}
+	ck.Cert = cert
+	p.ownCkpt[ev.order] = ck
+	transport.Multicast(p.e.ep, p.e.cfg.N, ck)
+	p.addCheckpoint(ck)
+}
+
+// handleCheckpoint processes a peer's checkpoint announcement.
+func (p *pillar) handleCheckpoint(from uint32, m *message.Checkpoint) {
+	if m.Replica != from {
+		return
+	}
+	if err := p.e.verifyCheckpoint(p.tx, m); err != nil {
+		return
+	}
+	p.addCheckpoint(m)
+}
+
+func (p *pillar) addCheckpoint(m *message.Checkpoint) {
+	stable := p.ckpts.Add(m.Order, checkpoint.Announcement[*message.Checkpoint]{
+		Replica: m.Replica, Digest: m.StateDigest, Msg: m,
+	})
+	if stable != nil {
+		p.e.coord.inbox.Put(evStable{stable: stable})
+	}
+}
+
+// advance slides the ordering window to a stable checkpoint and
+// discards retransmission state below it.
+func (p *pillar) advance(o timeline.Order) {
+	p.win.Advance(o)
+	for k := range p.ownMsg {
+		if k <= o {
+			delete(p.ownMsg, k)
+		}
+	}
+	for k := range p.ownCkpt {
+		if k <= o {
+			delete(p.ownCkpt, k)
+		}
+	}
+	for k := range p.pendingProps {
+		if k <= o {
+			p.e.seq.credit(p.idx)
+			delete(p.pendingProps, k)
+		}
+	}
+	for k := range p.pendingPreps {
+		if k <= o {
+			delete(p.pendingPreps, k)
+		}
+	}
+	if p.cursor <= o {
+		p.cursor = p.firstClassOrder(o)
+	}
+}
+
+// handleCollectVC produces this pillar's VIEW-CHANGE part: the
+// PREPAREs of all window instances it participated in plus learned
+// re-proposals, bound by the continuing counter certificate
+// τ(r(u), O, to|0, view|o_act) that makes concealment impossible
+// (§5.2.3). Ordering is suspended until a new view installs.
+func (p *pillar) handleCollectVC(ev evCollectVC) {
+	prepares := mergePrepares(p.win.Prepares(), ev.learned)
+	vc := &message.ViewChange{
+		Replica: p.e.id, Pillar: p.idx,
+		From: ev.from, To: ev.to,
+		CkptOrder: ev.ckptOrder, CkptDigest: ev.ckptDig, CkptProof: ev.ckptProof,
+		Prepares: prepares,
+	}
+	cert, err := p.tx.CreateContinuing(counterO, uint64(timeline.ViewStart(ev.to)), vc.Digest())
+	if err != nil {
+		// The counter is already at or beyond to|0 (e.g. duplicate
+		// collection); certify with a fresh continuing cert at the
+		// current value by retrying at the counter's own value. This
+		// cannot happen for monotonically increasing targets; treat
+		// as fatal for this collection.
+		ev.reply <- nil
+		return
+	}
+	vc.Cert = cert
+	p.aborted = true
+	p.pendingProps = make(map[timeline.Order]evPropose)
+	p.pendingPreps = make(map[timeline.Order]*message.Prepare)
+	ev.reply <- vc
+}
+
+// handleRepropose certifies the new leader's re-proposals for the new
+// view; the pillar's counter is at [view|0] after its own VIEW-CHANGE,
+// so the ascending [view|o] values are accepted.
+func (p *pillar) handleRepropose(ev evRepropose) {
+	out := make([]*message.Prepare, 0, len(ev.props))
+	for _, rp := range ev.props {
+		prep := &message.Prepare{View: ev.view, Order: rp.order, Requests: rp.batch}
+		cert, err := p.tx.CreateIndependent(counterO, uint64(timeline.Pack(ev.view, rp.order)), prep.Digest())
+		if err != nil {
+			ev.reply <- nil
+			return
+		}
+		prep.Cert = cert
+		out = append(out, prep)
+	}
+	ev.reply <- out
+}
+
+// handleInstallView enters a stable new view: slide the window to the
+// new-view checkpoint, adopt the re-proposals (acknowledging them as a
+// follower), and resume ordering after the re-proposed range.
+func (p *pillar) handleInstallView(ev evInstallView) {
+	p.aborted = false
+	p.view = ev.view
+	p.advance(ev.startCkpt)
+	p.pendingProps = make(map[timeline.Order]evPropose)
+	p.pendingPreps = make(map[timeline.Order]*message.Prepare)
+	p.cursor = p.firstClassOrder(p.win.Low())
+
+	for _, prep := range ev.prepares {
+		if !p.win.InWindow(prep.Order) {
+			continue
+		}
+		if ev.leader {
+			s := p.win.SetPrepare(prep)
+			p.ownMsg[prep.Order] = prep
+			p.maybeDeliver(s)
+		} else {
+			p.pendingPreps[prep.Order] = prep
+		}
+		if prep.Order >= p.cursor && ev.leader {
+			p.cursor = p.firstClassOrder(prep.Order)
+		}
+	}
+	if !ev.leader {
+		p.processReady()
+	}
+}
+
+// handleTick retransmits the oldest outstanding own messages; this
+// provides liveness across healed partitions and lost messages.
+func (p *pillar) handleTick() {
+	if p.aborted {
+		return
+	}
+	// Oldest uncommitted instance we sent a message for.
+	for o := p.win.Low() + 1; o < p.cursor; o++ {
+		s := p.win.Existing(o)
+		if s == nil || s.Committed {
+			continue
+		}
+		if m, ok := p.ownMsg[o]; ok {
+			transport.Multicast(p.e.ep, p.e.cfg.N, m)
+		}
+		break // one per tick is enough
+	}
+	// Oldest unstable own checkpoint.
+	for o, ck := range p.ownCkpt {
+		last := p.ckpts.Last()
+		if last == nil || o > last.Order {
+			transport.Multicast(p.e.ep, p.e.cfg.N, ck)
+			break
+		}
+	}
+}
+
+// mergePrepares combines window prepares with learned prepares,
+// keeping the highest-view prepare per order, ascending.
+func mergePrepares(a, b []*message.Prepare) []*message.Prepare {
+	if len(b) == 0 {
+		return a
+	}
+	byOrder := make(map[timeline.Order]*message.Prepare, len(a)+len(b))
+	for _, p := range a {
+		byOrder[p.Order] = p
+	}
+	for _, p := range b {
+		if cur, ok := byOrder[p.Order]; !ok || p.View > cur.View {
+			byOrder[p.Order] = p
+		}
+	}
+	out := make([]*message.Prepare, 0, len(byOrder))
+	for _, p := range byOrder {
+		out = append(out, p)
+	}
+	sortPrepares(out)
+	return out
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hybster/internal/crypto"
+	"hybster/internal/message"
+	"hybster/internal/order"
+	"hybster/internal/timeline"
+	"hybster/internal/trinx"
+)
+
+// Type aliases binding the pillar to the order package without
+// repeating the import path on every use.
+type (
+	orderWindow = order.Window
+	slot        = order.Slot
+)
+
+func newOrderWindow(size timeline.Order, quorum int) *order.Window {
+	return order.NewWindow(size, quorum)
+}
+
+func sortPrepares(ps []*message.Prepare) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Order < ps[j].Order })
+}
+
+// Verification errors.
+var (
+	errBadIssuer    = errors.New("core: certificate issuer mismatch")
+	errBadKind      = errors.New("core: wrong certificate kind")
+	errBadValue     = errors.New("core: certificate value mismatch")
+	errBadAuth      = errors.New("core: request authenticator invalid")
+	errBadSender    = errors.New("core: sender is not the expected proposer")
+	errIncompleteVC = errors.New("core: view-change discloses fewer prepares than its counter proves")
+)
+
+// verifyPrepare validates a leader proposal: the sender must be the
+// proposer of (view, order), the certificate must be an independent
+// counter certificate with the predefined value [view|order] issued by
+// the TrInX instance of the responsible pillar, and every request in
+// the batch must carry a valid client authenticator.
+func (e *Engine) verifyPrepare(tx *trinx.TrInX, m *message.Prepare, from uint32) error {
+	proposer := e.cfg.ProposerOf(m.View, m.Order)
+	if from != proposer {
+		return errBadSender
+	}
+	if err := e.verifyPrepareEmbedded(tx, m, proposer); err != nil {
+		return err
+	}
+	for _, r := range m.Requests {
+		if !crypto.VerifyAuthenticator(e.ks, r.Auth, r.Digest()) {
+			return errBadAuth
+		}
+	}
+	return nil
+}
+
+// verifyPrepareEmbedded validates a prepare carried inside
+// VIEW-CHANGE, NEW-VIEW, or NEW-VIEW-ACK messages, where the original
+// sender is no longer available and the proposer may be either the
+// rotation proposer of the prepare's view or that view's leader (the
+// leader re-proposes all transferred instances in its NEW-VIEW).
+func (e *Engine) verifyEmbeddedPrepare(tx *trinx.TrInX, m *message.Prepare) error {
+	rot := e.cfg.ProposerOf(m.View, m.Order)
+	ld := e.cfg.LeaderOf(m.View)
+	issuer := m.Cert.Issuer.Replica()
+	if issuer != rot && issuer != ld {
+		return errBadIssuer
+	}
+	return e.verifyPrepareEmbedded(tx, m, issuer)
+}
+
+func (e *Engine) verifyPrepareEmbedded(tx *trinx.TrInX, m *message.Prepare, proposer uint32) error {
+	pillar := e.cfg.PillarOf(m.Order) % uint32(len(e.pillars))
+	if m.Cert.Kind != trinx.Independent {
+		return errBadKind
+	}
+	if m.Cert.Issuer != trinx.MakeInstanceID(proposer, pillar) {
+		return fmt.Errorf("%w: %s", errBadIssuer, m.Cert.Issuer)
+	}
+	if m.Cert.Value != uint64(timeline.Pack(m.View, m.Order)) {
+		return errBadValue
+	}
+	return tx.Verify(m.Cert, m.Digest())
+}
+
+// verifyCommit validates a follower acknowledgment analogously.
+func (e *Engine) verifyCommit(tx *trinx.TrInX, m *message.Commit) error {
+	pillar := e.cfg.PillarOf(m.Order) % uint32(len(e.pillars))
+	if m.Cert.Kind != trinx.Independent {
+		return errBadKind
+	}
+	if m.Cert.Issuer != trinx.MakeInstanceID(m.Replica, pillar) {
+		return errBadIssuer
+	}
+	if m.Cert.Value != uint64(timeline.Pack(m.View, m.Order)) {
+		return errBadValue
+	}
+	return tx.Verify(m.Cert, m.Digest())
+}
+
+// verifyCheckpoint validates a checkpoint announcement: a trusted MAC
+// (continuing certificate with value == previous value) from the
+// announcing replica (§5.2.2).
+func (e *Engine) verifyCheckpoint(tx *trinx.TrInX, m *message.Checkpoint) error {
+	if m.Cert.Kind != trinx.Continuing || m.Cert.Value != m.Cert.Prev {
+		return errBadKind
+	}
+	if m.Cert.Issuer.Replica() != m.Replica {
+		return errBadIssuer
+	}
+	return tx.Verify(m.Cert, m.Digest())
+}
+
+// verifyCheckpointProof validates a quorum certificate K for a
+// checkpoint: quorum many valid announcements from distinct replicas,
+// all with the claimed order and digest.
+func (e *Engine) verifyCheckpointProof(tx *trinx.TrInX, o timeline.Order, d crypto.Digest, proof []*message.Checkpoint) error {
+	if o == 0 {
+		return nil // genesis checkpoint needs no proof
+	}
+	seen := make(map[uint32]bool, len(proof))
+	for _, ck := range proof {
+		if ck.Order != o || ck.StateDigest != d || seen[ck.Replica] {
+			return fmt.Errorf("core: malformed checkpoint proof for order %d", o)
+		}
+		if err := e.verifyCheckpoint(tx, ck); err != nil {
+			return err
+		}
+		seen[ck.Replica] = true
+	}
+	if len(seen) < e.cfg.Quorum() {
+		return fmt.Errorf("core: checkpoint proof has %d of %d announcements", len(seen), e.cfg.Quorum())
+	}
+	return nil
+}
+
+// verifyViewChangePart validates one pillar part of a VIEW-CHANGE: the
+// continuing certificate with value [to|0], the checkpoint proof, all
+// contained prepares, and — the crux of §5.2.3 — completeness: if the
+// certificate's previous value proves participation up to o_act in the
+// aborted view, a prepare must be disclosed for every class order in
+// (ckpt, o_act].
+func (e *Engine) verifyViewChangePart(tx *trinx.TrInX, vc *message.ViewChange) error {
+	if vc.To <= vc.From {
+		return fmt.Errorf("core: view-change to %d from %d", vc.To, vc.From)
+	}
+	pillars := uint32(len(e.pillars))
+	if vc.Pillar >= pillars {
+		return fmt.Errorf("core: view-change names pillar %d of %d", vc.Pillar, pillars)
+	}
+	if vc.Cert.Kind != trinx.Continuing {
+		return errBadKind
+	}
+	if vc.Cert.Issuer != trinx.MakeInstanceID(vc.Replica, vc.Pillar) {
+		return errBadIssuer
+	}
+	if vc.Cert.Value != uint64(timeline.ViewStart(vc.To)) {
+		return errBadValue
+	}
+	if err := tx.Verify(vc.Cert, vc.Digest()); err != nil {
+		return err
+	}
+	if err := e.verifyCheckpointProof(tx, vc.CkptOrder, vc.CkptDigest, vc.CkptProof); err != nil {
+		return err
+	}
+	disclosed := make(map[timeline.Order]bool, len(vc.Prepares))
+	for _, p := range vc.Prepares {
+		if e.cfg.PillarOf(p.Order)%pillars != vc.Pillar {
+			return fmt.Errorf("core: prepare for order %d in part of pillar %d", p.Order, vc.Pillar)
+		}
+		if err := e.verifyEmbeddedPrepare(tx, p); err != nil {
+			return err
+		}
+		disclosed[p.Order] = true
+	}
+	// Completeness: the unforgeable previous counter value [pv|po]
+	// forces disclosure of every instance the replica acted on in the
+	// view it last participated in.
+	prev := timeline.Point(vc.Cert.Prev)
+	pv, po := prev.Unpack()
+	if pv == vc.From && po > vc.CkptOrder {
+		for o := vc.CkptOrder + 1; o <= po; o++ {
+			if e.cfg.PillarOf(o)%pillars != vc.Pillar {
+				continue
+			}
+			if !disclosed[o] {
+				return fmt.Errorf("%w: order %d missing (o_act %d)", errIncompleteVC, o, po)
+			}
+		}
+	}
+	return nil
+}
+
+// verifyNewViewAckPart validates one pillar part of a NEW-VIEW-ACK: a
+// trusted MAC plus valid embedded prepares of the acknowledged view.
+func (e *Engine) verifyNewViewAckPart(tx *trinx.TrInX, a *message.NewViewAck) error {
+	if a.Cert.Kind != trinx.Continuing || a.Cert.Value != a.Cert.Prev {
+		return errBadKind
+	}
+	if a.Cert.Issuer.Replica() != a.Replica {
+		return errBadIssuer
+	}
+	if err := tx.Verify(a.Cert, a.Digest()); err != nil {
+		return err
+	}
+	pillars := uint32(len(e.pillars))
+	for _, p := range a.Prepares {
+		if e.cfg.PillarOf(p.Order)%pillars != a.Pillar {
+			return fmt.Errorf("core: ack prepare for order %d in part of pillar %d", p.Order, a.Pillar)
+		}
+		if err := e.verifyEmbeddedPrepare(tx, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

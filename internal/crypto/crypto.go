@@ -1,0 +1,233 @@
+// Package crypto provides the cryptographic primitives shared by all
+// protocol implementations in this repository: SHA-256 digests, HMAC-based
+// message authentication, key management for a replica group, and
+// PBFT-style MAC authenticators (a vector of per-receiver MACs).
+//
+// All operations are built on the Go standard library (crypto/sha256,
+// crypto/hmac). The package deliberately exposes small value types so that
+// protocol code can embed digests and MACs in messages without extra
+// allocation.
+package crypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// DigestSize is the size of a message digest in bytes (SHA-256).
+const DigestSize = sha256.Size
+
+// MACSize is the size of a message authentication code in bytes.
+// MACs are HMAC-SHA256 outputs.
+const MACSize = sha256.Size
+
+// Digest is a SHA-256 hash of a message or state snapshot.
+type Digest [DigestSize]byte
+
+// ZeroDigest is the all-zero digest, used for empty state and no-op
+// consensus instances.
+var ZeroDigest Digest
+
+// Hash computes the SHA-256 digest of data.
+func Hash(data []byte) Digest {
+	return sha256.Sum256(data)
+}
+
+// HashParts computes the SHA-256 digest over the concatenation of parts
+// without materializing the concatenation.
+func HashParts(parts ...[]byte) Digest {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// Combine folds two digests into one. It is used to chain state digests
+// with reply-vector digests for checkpoint proofs.
+func Combine(a, b Digest) Digest {
+	h := sha256.New()
+	h.Write(a[:])
+	h.Write(b[:])
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// IsZero reports whether d is the zero digest.
+func (d Digest) IsZero() bool { return d == ZeroDigest }
+
+// String returns a short hexadecimal prefix of the digest for logging.
+func (d Digest) String() string { return hex.EncodeToString(d[:8]) }
+
+// MAC is an HMAC-SHA256 authentication code.
+type MAC [MACSize]byte
+
+// IsZero reports whether m is the all-zero MAC.
+func (m MAC) IsZero() bool { return m == MAC{} }
+
+// String returns a short hexadecimal prefix of the MAC for logging.
+func (m MAC) String() string { return hex.EncodeToString(m[:8]) }
+
+// Key is a symmetric key used for HMAC computation.
+type Key []byte
+
+// NewKeyFromSeed derives a deterministic key from a textual seed. It is
+// used by tests and the in-process cluster harness; deployments load keys
+// from configuration.
+func NewKeyFromSeed(seed string) Key {
+	d := sha256.Sum256([]byte("hybster-key:" + seed))
+	return Key(d[:])
+}
+
+// Sum computes the HMAC-SHA256 of data under key k.
+func (k Key) Sum(data []byte) MAC {
+	h := hmac.New(sha256.New, k)
+	h.Write(data)
+	var m MAC
+	h.Sum(m[:0])
+	return m
+}
+
+// SumParts computes the HMAC-SHA256 over the concatenation of parts.
+func (k Key) SumParts(parts ...[]byte) MAC {
+	h := hmac.New(sha256.New, k)
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var m MAC
+	h.Sum(m[:0])
+	return m
+}
+
+// Verify reports whether mac is a valid HMAC for data under key k,
+// using a constant-time comparison.
+func (k Key) Verify(data []byte, mac MAC) bool {
+	expect := k.Sum(data)
+	return hmac.Equal(expect[:], mac[:])
+}
+
+// U64 encodes v in big-endian order; a helper for building MAC inputs.
+func U64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// U32 encodes v in big-endian order; a helper for building MAC inputs.
+func U32(v uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return b[:]
+}
+
+// KeyStore holds the pairwise session keys of one node in a replica
+// group. Node identifiers cover both replicas and clients: replicas use
+// IDs [0, n), clients use IDs >= ClientIDBase.
+//
+// Pairwise keys are derived deterministically from a group master secret
+// so that all nodes agree without a key exchange protocol; this mirrors
+// the statically configured session keys of the paper's prototype.
+type KeyStore struct {
+	self   uint32
+	master Key
+}
+
+// ClientIDBase is the first node ID assigned to clients. IDs below it
+// identify replicas.
+const ClientIDBase = 1 << 16
+
+// NewKeyStore creates the key store of node self from the group master
+// secret.
+func NewKeyStore(self uint32, master Key) *KeyStore {
+	return &KeyStore{self: self, master: master}
+}
+
+// Self returns the node ID this key store belongs to.
+func (ks *KeyStore) Self() uint32 { return ks.self }
+
+// PairKey returns the symmetric key shared between nodes a and b.
+// The derivation is symmetric: PairKey(a,b) == PairKey(b,a).
+func (ks *KeyStore) PairKey(a, b uint32) Key {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	d := ks.master.SumParts([]byte("pair"), U32(lo), U32(hi))
+	return Key(d[:])
+}
+
+// KeyFor returns the key shared between this node and peer.
+func (ks *KeyStore) KeyFor(peer uint32) Key {
+	return ks.PairKey(ks.self, peer)
+}
+
+// Authenticator is a PBFT-style vector of MACs: one MAC per receiver,
+// each computed under the pairwise key of sender and receiver. A message
+// carrying an authenticator can be verified by every replica in the
+// group, but — unlike a signature or trusted MAC — a faulty sender can
+// craft an authenticator that verifies at some receivers and not others.
+type Authenticator struct {
+	Sender uint32
+	MACs   []MAC // indexed by replica ID
+}
+
+// NewAuthenticator computes the authenticator of sender over digest d
+// for receivers [0, n). A MAC slot is included for the sender itself so
+// that messages replayed back to their author (e.g. a replica's own
+// PREPARE inside another replica's VIEW-CHANGE) remain verifiable.
+func NewAuthenticator(ks *KeyStore, d Digest, n int) Authenticator {
+	a := Authenticator{Sender: ks.Self(), MACs: make([]MAC, n)}
+	for r := 0; r < n; r++ {
+		a.MACs[r] = ks.KeyFor(uint32(r)).Sum(d[:])
+	}
+	return a
+}
+
+// VerifyAuthenticator checks the MAC destined for this node inside a.
+func VerifyAuthenticator(ks *KeyStore, a Authenticator, d Digest) bool {
+	if int(ks.Self()) >= len(a.MACs) {
+		return false
+	}
+	return ks.PairKey(a.Sender, ks.Self()).Verify(d[:], a.MACs[ks.Self()])
+}
+
+// Marshal serializes the authenticator.
+func (a Authenticator) Marshal() []byte {
+	buf := make([]byte, 8+len(a.MACs)*MACSize)
+	binary.BigEndian.PutUint32(buf[0:4], a.Sender)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(a.MACs)))
+	off := 8
+	for _, m := range a.MACs {
+		copy(buf[off:], m[:])
+		off += MACSize
+	}
+	return buf
+}
+
+// UnmarshalAuthenticator parses an authenticator and returns the number
+// of bytes consumed.
+func UnmarshalAuthenticator(buf []byte) (Authenticator, int, error) {
+	if len(buf) < 8 {
+		return Authenticator{}, 0, fmt.Errorf("crypto: authenticator truncated: %d bytes", len(buf))
+	}
+	var a Authenticator
+	a.Sender = binary.BigEndian.Uint32(buf[0:4])
+	n := int(binary.BigEndian.Uint32(buf[4:8]))
+	need := 8 + n*MACSize
+	if n < 0 || len(buf) < need {
+		return Authenticator{}, 0, fmt.Errorf("crypto: authenticator truncated: want %d MACs", n)
+	}
+	a.MACs = make([]MAC, n)
+	off := 8
+	for i := 0; i < n; i++ {
+		copy(a.MACs[i][:], buf[off:off+MACSize])
+		off += MACSize
+	}
+	return a, need, nil
+}

@@ -1,0 +1,176 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	a := Hash([]byte("hello"))
+	b := Hash([]byte("hello"))
+	if a != b {
+		t.Fatalf("same input produced different digests: %v vs %v", a, b)
+	}
+	c := Hash([]byte("hello!"))
+	if a == c {
+		t.Fatalf("different inputs produced identical digests")
+	}
+}
+
+func TestHashPartsEqualsConcatenation(t *testing.T) {
+	err := quick.Check(func(a, b, c []byte) bool {
+		concat := append(append(append([]byte{}, a...), b...), c...)
+		return HashParts(a, b, c) == Hash(concat)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombineOrderMatters(t *testing.T) {
+	a, b := Hash([]byte("a")), Hash([]byte("b"))
+	if Combine(a, b) == Combine(b, a) {
+		t.Fatal("Combine must not be commutative")
+	}
+	if Combine(a, b) != Combine(a, b) {
+		t.Fatal("Combine must be deterministic")
+	}
+}
+
+func TestZeroDigest(t *testing.T) {
+	if !ZeroDigest.IsZero() {
+		t.Fatal("ZeroDigest.IsZero() = false")
+	}
+	if Hash(nil).IsZero() {
+		t.Fatal("Hash(nil) should not be the zero digest")
+	}
+}
+
+func TestKeySumVerify(t *testing.T) {
+	k := NewKeyFromSeed("s1")
+	msg := []byte("payload")
+	mac := k.Sum(msg)
+	if !k.Verify(msg, mac) {
+		t.Fatal("valid MAC rejected")
+	}
+	if k.Verify([]byte("payload!"), mac) {
+		t.Fatal("MAC accepted for different message")
+	}
+	k2 := NewKeyFromSeed("s2")
+	if k2.Verify(msg, mac) {
+		t.Fatal("MAC accepted under different key")
+	}
+}
+
+func TestSumPartsEqualsSumConcat(t *testing.T) {
+	k := NewKeyFromSeed("s")
+	err := quick.Check(func(a, b []byte) bool {
+		concat := append(append([]byte{}, a...), b...)
+		return k.SumParts(a, b) == k.Sum(concat)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyFromSeedDeterministic(t *testing.T) {
+	if !bytes.Equal(NewKeyFromSeed("x"), NewKeyFromSeed("x")) {
+		t.Fatal("same seed produced different keys")
+	}
+	if bytes.Equal(NewKeyFromSeed("x"), NewKeyFromSeed("y")) {
+		t.Fatal("different seeds produced identical keys")
+	}
+}
+
+func TestPairKeySymmetry(t *testing.T) {
+	master := NewKeyFromSeed("group")
+	ks1 := NewKeyStore(1, master)
+	ks2 := NewKeyStore(2, master)
+	if !bytes.Equal(ks1.PairKey(1, 2), ks2.PairKey(2, 1)) {
+		t.Fatal("pair keys are not symmetric")
+	}
+	if bytes.Equal(ks1.PairKey(1, 2), ks1.PairKey(1, 3)) {
+		t.Fatal("distinct pairs share a key")
+	}
+	if !bytes.Equal(ks1.KeyFor(2), ks2.KeyFor(1)) {
+		t.Fatal("KeyFor is not symmetric across stores")
+	}
+}
+
+func TestAuthenticatorRoundtrip(t *testing.T) {
+	master := NewKeyFromSeed("group")
+	const n = 4
+	sender := NewKeyStore(0, master)
+	d := Hash([]byte("msg"))
+	auth := NewAuthenticator(sender, d, n)
+
+	for r := uint32(1); r < n; r++ {
+		recv := NewKeyStore(r, master)
+		if !VerifyAuthenticator(recv, auth, d) {
+			t.Fatalf("replica %d rejected valid authenticator", r)
+		}
+		if VerifyAuthenticator(recv, auth, Hash([]byte("other"))) {
+			t.Fatalf("replica %d accepted authenticator for wrong digest", r)
+		}
+	}
+}
+
+func TestAuthenticatorWrongGroupRejected(t *testing.T) {
+	d := Hash([]byte("msg"))
+	auth := NewAuthenticator(NewKeyStore(0, NewKeyFromSeed("g1")), d, 4)
+	recv := NewKeyStore(1, NewKeyFromSeed("g2"))
+	if VerifyAuthenticator(recv, auth, d) {
+		t.Fatal("authenticator accepted across groups")
+	}
+}
+
+func TestAuthenticatorMarshalRoundtrip(t *testing.T) {
+	master := NewKeyFromSeed("group")
+	auth := NewAuthenticator(NewKeyStore(2, master), Hash([]byte("m")), 4)
+	buf := auth.Marshal()
+	got, n, err := UnmarshalAuthenticator(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if got.Sender != auth.Sender || len(got.MACs) != len(auth.MACs) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, auth)
+	}
+	for i := range auth.MACs {
+		if got.MACs[i] != auth.MACs[i] {
+			t.Fatalf("MAC %d mismatch", i)
+		}
+	}
+}
+
+func TestAuthenticatorUnmarshalTruncated(t *testing.T) {
+	master := NewKeyFromSeed("group")
+	auth := NewAuthenticator(NewKeyStore(2, master), Hash([]byte("m")), 4)
+	buf := auth.Marshal()
+	for cut := 0; cut < len(buf); cut += 7 {
+		if _, _, err := UnmarshalAuthenticator(buf[:cut]); err == nil {
+			t.Fatalf("no error for truncation at %d", cut)
+		}
+	}
+}
+
+func TestAuthenticatorOutOfRangeReceiver(t *testing.T) {
+	master := NewKeyFromSeed("group")
+	auth := NewAuthenticator(NewKeyStore(0, master), Hash([]byte("m")), 2)
+	recv := NewKeyStore(7, master) // ID beyond the MAC vector
+	if VerifyAuthenticator(recv, auth, Hash([]byte("m"))) {
+		t.Fatal("accepted authenticator without a MAC slot for receiver")
+	}
+}
+
+func TestU64U32(t *testing.T) {
+	if len(U64(0)) != 8 || len(U32(0)) != 4 {
+		t.Fatal("wrong encoded lengths")
+	}
+	if bytes.Equal(U64(1), U64(2)) {
+		t.Fatal("distinct values encode equal")
+	}
+}

@@ -1,0 +1,192 @@
+package enclave
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+type counterState struct{ n int }
+
+func newCounterEnclave(p *Platform, cost CostModel) *Enclave {
+	return Create(p, "counter", cost, func() any { return &counterState{} })
+}
+
+func increment(e *Enclave) (int, error) {
+	v, err := e.ECall(func(state any) (any, error) {
+		s := state.(*counterState)
+		s.n++
+		return s.n, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return v.(int), nil
+}
+
+func TestECallMutatesPrivateState(t *testing.T) {
+	e := newCounterEnclave(NewPlatform("t"), CostModel{})
+	for want := 1; want <= 5; want++ {
+		got, err := increment(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("increment = %d, want %d", got, want)
+		}
+	}
+	if e.Calls() != 5 {
+		t.Fatalf("Calls() = %d, want 5", e.Calls())
+	}
+}
+
+func TestECallSerializesConcurrentAccess(t *testing.T) {
+	e := newCounterEnclave(NewPlatform("t"), CostModel{})
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := increment(e); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, err := increment(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != workers*perWorker+1 {
+		t.Fatalf("final counter = %d, want %d", got, workers*perWorker+1)
+	}
+}
+
+func TestDestroyedEnclaveRejectsCalls(t *testing.T) {
+	p := NewPlatform("t")
+	e := newCounterEnclave(p, CostModel{})
+	if p.EnclaveCount() != 1 {
+		t.Fatalf("EnclaveCount = %d", p.EnclaveCount())
+	}
+	e.Destroy()
+	e.Destroy() // idempotent
+	if p.EnclaveCount() != 0 {
+		t.Fatalf("EnclaveCount after destroy = %d", p.EnclaveCount())
+	}
+	if _, err := increment(e); !errors.Is(err, ErrDestroyed) {
+		t.Fatalf("err = %v, want ErrDestroyed", err)
+	}
+}
+
+func TestTransitionCostIsPaid(t *testing.T) {
+	costly := newCounterEnclave(NewPlatform("t"), CostModel{Transition: 200 * time.Microsecond})
+	start := time.Now()
+	const calls = 20
+	for i := 0; i < calls; i++ {
+		if _, err := increment(costly); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if min := calls * 200 * time.Microsecond; elapsed < min {
+		t.Fatalf("20 calls took %v, want >= %v", elapsed, min)
+	}
+}
+
+func TestBridgeSharesState(t *testing.T) {
+	e := newCounterEnclave(NewPlatform("t"), CostModel{})
+	b := e.WithBridge()
+	if _, err := increment(e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := increment(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("bridge handle saw counter %d, want 2 (shared state)", got)
+	}
+}
+
+func TestSealUnsealRoundtrip(t *testing.T) {
+	e := newCounterEnclave(NewPlatform("t"), CostModel{})
+	data := []byte("secret enclave state")
+	blob, err := e.Seal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Unseal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("unsealed %q, want %q", got, data)
+	}
+}
+
+func TestSealTamperDetected(t *testing.T) {
+	e := newCounterEnclave(NewPlatform("t"), CostModel{})
+	blob, err := e.Seal([]byte("state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 0xff
+	if _, err := e.Unseal(blob); !errors.Is(err, ErrSealCorrupt) {
+		t.Fatalf("err = %v, want ErrSealCorrupt", err)
+	}
+	if _, err := e.Unseal(blob[:4]); !errors.Is(err, ErrSealCorrupt) {
+		t.Fatalf("short blob err = %v, want ErrSealCorrupt", err)
+	}
+}
+
+func TestSealBoundToEnclaveIdentity(t *testing.T) {
+	p := NewPlatform("t")
+	a := Create(p, "a", CostModel{}, func() any { return nil })
+	b := Create(p, "b", CostModel{}, func() any { return nil })
+	blob, err := a.Seal([]byte("state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Unseal(blob); !errors.Is(err, ErrSealCorrupt) {
+		t.Fatalf("cross-enclave unseal err = %v, want ErrSealCorrupt", err)
+	}
+}
+
+func TestSealRollbackRejected(t *testing.T) {
+	p := NewPlatform("t")
+	e := newCounterEnclave(p, CostModel{})
+	blob, err := e.Seal([]byte("old state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AdvanceEpoch()
+	if _, err := e.Unseal(blob); !errors.Is(err, ErrSealReplayed) {
+		t.Fatalf("err = %v, want ErrSealReplayed", err)
+	}
+	// Fresh seals under the new epoch work.
+	blob2, err := e.Seal([]byte("new state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Unseal(blob2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSealPlatformIsolation(t *testing.T) {
+	e1 := newCounterEnclave(NewPlatform("p1"), CostModel{})
+	e2 := newCounterEnclave(NewPlatform("p2"), CostModel{})
+	blob, err := e1.Seal([]byte("state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Unseal(blob); err == nil {
+		t.Fatal("unseal succeeded on a different platform")
+	}
+}

@@ -1,0 +1,47 @@
+package message
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes into the wire decoder. The
+// decoder must never panic, and any message it does accept must
+// re-encode and re-decode stably (round-trip closure).
+func FuzzUnmarshal(f *testing.F) {
+	for _, m := range allMessages() {
+		f.Add(Marshal(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Accepted messages must round-trip deterministically.
+		re := Marshal(m)
+		m2, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(re, Marshal(m2)) {
+			t.Fatalf("marshal not stable after round trip")
+		}
+	})
+}
+
+// FuzzDecoderPrimitives stresses the length-prefixed primitives
+// directly.
+func FuzzDecoderPrimitives(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 4, 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		_ = d.VarBytes()
+		_ = d.U64()
+		_ = d.Len(8)
+		_ = d.Bytes32()
+		_ = d.Finish() // must not panic regardless of input
+	})
+}

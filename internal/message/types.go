@@ -1,0 +1,347 @@
+package message
+
+import (
+	"hybster/internal/crypto"
+	"hybster/internal/timeline"
+	"hybster/internal/trinx"
+)
+
+// Type enumerates the wire message types of all protocols.
+type Type uint8
+
+// Message type identifiers. Hybster messages (§5.2) come first, then
+// the PBFT baseline's, then MinBFT's, then state transfer.
+const (
+	TypeRequest Type = iota + 1
+	TypeReply
+	TypePrepare
+	TypeCommit
+	TypeCheckpoint
+	TypeViewChange
+	TypeNewView
+	TypeNewViewAck
+	TypePrePrepare
+	TypePBFTPrepare
+	TypePBFTCommit
+	TypePBFTCheckpoint
+	TypePBFTViewChange
+	TypePBFTNewView
+	TypeMinPrepare
+	TypeMinCommit
+	TypeMinReqViewChange
+	TypeMinViewChange
+	TypeMinNewView
+	TypeStateRequest
+	TypeStateReply
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	names := map[Type]string{
+		TypeRequest: "REQUEST", TypeReply: "REPLY",
+		TypePrepare: "PREPARE", TypeCommit: "COMMIT",
+		TypeCheckpoint: "CHECKPOINT", TypeViewChange: "VIEW-CHANGE",
+		TypeNewView: "NEW-VIEW", TypeNewViewAck: "NEW-VIEW-ACK",
+		TypePrePrepare: "PRE-PREPARE", TypePBFTPrepare: "PBFT-PREPARE",
+		TypePBFTCommit: "PBFT-COMMIT", TypePBFTCheckpoint: "PBFT-CHECKPOINT",
+		TypePBFTViewChange: "PBFT-VIEW-CHANGE", TypePBFTNewView: "PBFT-NEW-VIEW",
+		TypeMinPrepare: "MIN-PREPARE", TypeMinCommit: "MIN-COMMIT",
+		TypeMinReqViewChange: "MIN-REQ-VIEW-CHANGE", TypeMinViewChange: "MIN-VIEW-CHANGE",
+		TypeMinNewView:   "MIN-NEW-VIEW",
+		TypeStateRequest: "STATE-REQUEST", TypeStateReply: "STATE-REPLY",
+	}
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return "UNKNOWN"
+}
+
+// Message is implemented by every protocol message.
+type Message interface {
+	// MsgType returns the wire type tag.
+	MsgType() Type
+}
+
+// --- Client interaction -------------------------------------------------
+
+// Request is a client command submitted to the replica group. Clients
+// authenticate requests with a MAC authenticator covering the whole
+// group (clients own no trusted subsystem).
+type Request struct {
+	Client   uint32
+	Seq      uint64
+	ReadOnly bool
+	Payload  []byte
+	Auth     crypto.Authenticator
+}
+
+// MsgType implements Message.
+func (*Request) MsgType() Type { return TypeRequest }
+
+// Digest returns the canonical digest of the request, the value covered
+// by its authenticator and by batch digests.
+func (r *Request) Digest() crypto.Digest {
+	e := NewEncoder(17 + len(r.Payload))
+	e.U32(r.Client)
+	e.U64(r.Seq)
+	e.Bool(r.ReadOnly)
+	e.VarBytes(r.Payload)
+	return crypto.HashParts([]byte("req"), e.Bytes())
+}
+
+// Reply carries the execution result of one request back to its client,
+// authenticated under the replica-client pair key.
+type Reply struct {
+	Replica uint32
+	Client  uint32
+	Seq     uint64
+	Result  []byte
+	MAC     crypto.MAC
+}
+
+// MsgType implements Message.
+func (*Reply) MsgType() Type { return TypeReply }
+
+// Digest returns the value the reply MAC covers.
+func (r *Reply) Digest() crypto.Digest {
+	e := NewEncoder(16 + len(r.Result))
+	e.U32(r.Replica)
+	e.U32(r.Client)
+	e.U64(r.Seq)
+	e.VarBytes(r.Result)
+	return crypto.HashParts([]byte("reply"), e.Bytes())
+}
+
+// BatchDigest folds the digests of a request batch into one digest.
+// An empty batch (a no-op instance closing a gap) yields a distinct,
+// stable digest.
+func BatchDigest(reqs []*Request) crypto.Digest {
+	parts := make([][]byte, 0, len(reqs)+1)
+	parts = append(parts, []byte("batch"))
+	for _, r := range reqs {
+		d := r.Digest()
+		parts = append(parts, append([]byte(nil), d[:]...))
+	}
+	return crypto.HashParts(parts...)
+}
+
+// --- Hybster ordering (§5.2.1) ------------------------------------------
+
+// Prepare is the leader's proposal assigning a request batch to order
+// number Order in view View. Its certificate must be an independent
+// counter certificate over counter O with value [View|Order], issued by
+// the TrInX instance of the pillar responsible for Order.
+type Prepare struct {
+	View     timeline.View
+	Order    timeline.Order
+	Requests []*Request
+	Cert     trinx.Certificate
+}
+
+// MsgType implements Message.
+func (*Prepare) MsgType() Type { return TypePrepare }
+
+// BatchDigest returns the digest of the proposed batch.
+func (p *Prepare) BatchDigest() crypto.Digest { return BatchDigest(p.Requests) }
+
+// Digest returns the value the prepare certificate covers.
+func (p *Prepare) Digest() crypto.Digest {
+	bd := p.BatchDigest()
+	return crypto.HashParts([]byte("prep"),
+		crypto.U64(uint64(timeline.Pack(p.View, p.Order))), bd[:])
+}
+
+// Point returns the flattened [view|order] instance identifier.
+func (p *Prepare) Point() timeline.Point { return timeline.Pack(p.View, p.Order) }
+
+// Commit is a follower's acknowledgment of a Prepare, certified with an
+// independent counter certificate over the same [View|Order] value.
+type Commit struct {
+	View        timeline.View
+	Order       timeline.Order
+	Replica     uint32
+	BatchDigest crypto.Digest
+	Cert        trinx.Certificate
+}
+
+// MsgType implements Message.
+func (*Commit) MsgType() Type { return TypeCommit }
+
+// Digest returns the value the commit certificate covers.
+func (c *Commit) Digest() crypto.Digest {
+	return crypto.HashParts([]byte("com"),
+		crypto.U64(uint64(timeline.Pack(c.View, c.Order))),
+		crypto.U32(c.Replica), c.BatchDigest[:])
+}
+
+// Point returns the flattened [view|order] instance identifier.
+func (c *Commit) Point() timeline.Point { return timeline.Pack(c.View, c.Order) }
+
+// --- Hybster checkpointing (§5.2.2) ---------------------------------------
+
+// Checkpoint announces that a replica saved its service state after
+// executing all instances up to and including Order. StateDigest covers
+// the service state combined with the client reply vector. Checkpoints
+// are not subject to equivocation, so a trusted MAC certificate
+// (counter M) suffices.
+type Checkpoint struct {
+	Order       timeline.Order
+	Replica     uint32
+	StateDigest crypto.Digest
+	Cert        trinx.Certificate
+}
+
+// MsgType implements Message.
+func (*Checkpoint) MsgType() Type { return TypeCheckpoint }
+
+// Digest returns the value the checkpoint certificate covers.
+func (c *Checkpoint) Digest() crypto.Digest {
+	return crypto.HashParts([]byte("ckpt"),
+		crypto.U64(uint64(c.Order)), crypto.U32(c.Replica), c.StateDigest[:])
+}
+
+// --- Hybster view change (§5.2.3, §5.3.3) ---------------------------------
+
+// ViewChange announces that the sending pillar of a replica aborted view
+// From and supports the leader of view To. It carries the pillar's last
+// stable checkpoint (order and quorum proof) and the PREPAREs of all
+// instances in the pillar's ordering window it participated in. Its
+// continuing counter certificate τ(r(u), O, To|0, From|o_act) forces
+// even a faulty replica to disclose every instance up to o_act.
+//
+// In the basic protocol a replica has a single pillar (Pillar 0) and a
+// VIEW-CHANGE consists of exactly one part; in HybsterX receivers act on
+// a view change only once parts from all pillars of the sender arrived
+// (§5.3.3, "Split External Messages").
+type ViewChange struct {
+	Replica    uint32
+	Pillar     uint32
+	From       timeline.View // v_from: last view the replica accepted
+	To         timeline.View // v_to: the view it wants to enter
+	CkptOrder  timeline.Order
+	CkptDigest crypto.Digest
+	CkptProof  []*Checkpoint
+	Prepares   []*Prepare
+	Cert       trinx.Certificate
+}
+
+// MsgType implements Message.
+func (*ViewChange) MsgType() Type { return TypeViewChange }
+
+// Digest returns the value the view-change certificate covers.
+func (v *ViewChange) Digest() crypto.Digest {
+	e := NewEncoder(64 + 40*len(v.Prepares))
+	e.U32(v.Replica)
+	e.U32(v.Pillar)
+	e.U64(uint64(v.From))
+	e.U64(uint64(v.To))
+	e.U64(uint64(v.CkptOrder))
+	e.Bytes32(v.CkptDigest)
+	e.Len(len(v.CkptProof))
+	for _, c := range v.CkptProof {
+		d := c.Digest()
+		e.Bytes32(d)
+	}
+	e.Len(len(v.Prepares))
+	for _, p := range v.Prepares {
+		d := p.Digest()
+		e.Bytes32(d)
+	}
+	return crypto.HashParts([]byte("vc"), e.Bytes())
+}
+
+// NewView is the designated leader's proof that the transition into
+// view View is correct: the new-view certificate (a quorum of
+// VIEW-CHANGEs plus, when needed, NEW-VIEW-ACKs) and the re-proposed
+// PREPAREs for the new view. Authenticity is provided by a trusted MAC;
+// the re-proposed PREPAREs carry their own independent certificates.
+type NewView struct {
+	View     timeline.View
+	Pillar   uint32
+	VCs      []*ViewChange
+	Acks     []*NewViewAck
+	Prepares []*Prepare
+	Cert     trinx.Certificate
+}
+
+// MsgType implements Message.
+func (*NewView) MsgType() Type { return TypeNewView }
+
+// Digest returns the value the new-view certificate covers.
+func (n *NewView) Digest() crypto.Digest {
+	e := NewEncoder(64)
+	e.U64(uint64(n.View))
+	e.U32(n.Pillar)
+	e.Len(len(n.VCs))
+	for _, vc := range n.VCs {
+		d := vc.Digest()
+		e.Bytes32(d)
+	}
+	e.Len(len(n.Acks))
+	for _, a := range n.Acks {
+		d := a.Digest()
+		e.Bytes32(d)
+	}
+	e.Len(len(n.Prepares))
+	for _, p := range n.Prepares {
+		d := p.Digest()
+		e.Bytes32(d)
+	}
+	return crypto.HashParts([]byte("nv"), e.Bytes())
+}
+
+// NewViewAck acknowledges that the sender accepted a correct NEW-VIEW
+// for view View after having already aborted that view, and propagates
+// the PREPAREs learned from it. The paper notes no counter certificate
+// is required (§5.2.3); a trusted MAC provides authenticity.
+type NewViewAck struct {
+	Replica  uint32
+	Pillar   uint32
+	View     timeline.View
+	Prepares []*Prepare
+	Cert     trinx.Certificate
+}
+
+// MsgType implements Message.
+func (*NewViewAck) MsgType() Type { return TypeNewViewAck }
+
+// Digest returns the value the ack certificate covers.
+func (a *NewViewAck) Digest() crypto.Digest {
+	e := NewEncoder(48)
+	e.U32(a.Replica)
+	e.U32(a.Pillar)
+	e.U64(uint64(a.View))
+	e.Len(len(a.Prepares))
+	for _, p := range a.Prepares {
+		d := p.Digest()
+		e.Bytes32(d)
+	}
+	return crypto.HashParts([]byte("nva"), e.Bytes())
+}
+
+// --- State transfer --------------------------------------------------------
+
+// StateRequest asks a peer for the service state at its last stable
+// checkpoint with order >= From.
+type StateRequest struct {
+	Replica uint32
+	From    timeline.Order
+}
+
+// MsgType implements Message.
+func (*StateRequest) MsgType() Type { return TypeStateRequest }
+
+// StateReply transfers a state snapshot together with the checkpoint
+// quorum proving its correctness and the serialized client reply
+// vector, allowing the fallen-behind replica to answer skipped requests
+// (§5.2.2, "State and Return Value Confirmation").
+type StateReply struct {
+	Replica     uint32
+	CkptOrder   timeline.Order
+	Snapshot    []byte
+	ReplyVector []byte
+	Proof       []*Checkpoint
+}
+
+// MsgType implements Message.
+func (*StateReply) MsgType() Type { return TypeStateReply }

@@ -1,0 +1,68 @@
+package minbft
+
+import (
+	"sync/atomic"
+
+	"hybster/internal/cop"
+	"hybster/internal/message"
+	"hybster/internal/statemachine"
+	"hybster/internal/timeline"
+	"hybster/internal/trinx"
+)
+
+// trinxIssuer adapts a USIG issuer ID to the instance-ID field of the
+// shared Checkpoint message type.
+func trinxIssuer(id uint32) trinx.InstanceID {
+	return trinx.InstanceID(uint64(id) << 16)
+}
+
+type evExec struct {
+	order timeline.Order
+	batch []*message.Request
+}
+
+// execLoop is MinBFT's execution stage.
+type execLoop struct {
+	e     *Engine
+	inbox *cop.Mailbox[evExec]
+	x     *statemachine.Executor
+	last  atomic.Uint64
+}
+
+func newExecLoop(e *Engine, app statemachine.Application) *execLoop {
+	return &execLoop{e: e, inbox: cop.NewMailbox[evExec](), x: statemachine.NewExecutor(app)}
+}
+
+func (l *execLoop) lastExecuted() timeline.Order { return timeline.Order(l.last.Load()) }
+
+func (l *execLoop) run() {
+	for {
+		ev, ok := l.inbox.Get()
+		if !ok {
+			return
+		}
+		if !l.x.Buffer(ev.order, ev.batch) {
+			continue
+		}
+		for {
+			ex := l.x.Step()
+			if ex == nil {
+				break
+			}
+			l.last.Store(uint64(ex.Order))
+			for _, r := range ex.Replies {
+				rep := &message.Reply{Replica: l.e.id, Client: r.Client, Seq: r.Seq, Result: r.Result}
+				d := rep.Digest()
+				rep.MAC = l.e.ks.KeyFor(r.Client).Sum(d[:])
+				_ = l.e.ep.Send(r.Client, rep)
+			}
+			l.e.inbox.Put(evProgress{pending: l.x.Pending() > 0})
+			if l.e.cfg.IsCheckpoint(ex.Order) {
+				// Checkpoints run on the protocol loop; hand the
+				// digest over through the inbox so USIG and window
+				// state stay single-threaded.
+				l.e.inbox.Put(evCkptDue{order: ex.Order, digest: l.x.StateDigest()})
+			}
+		}
+	}
+}

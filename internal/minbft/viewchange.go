@@ -1,0 +1,492 @@
+package minbft
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hybster/internal/crypto"
+	"hybster/internal/message"
+	"hybster/internal/timeline"
+	"hybster/internal/transport"
+	"hybster/internal/usig"
+)
+
+// This file implements MinBFT's history-based view change, the design
+// §4.4 of the Hybster paper critiques: to change views, a replica must
+// present the *complete history* of ordering messages it sent since
+// its last stable checkpoint, sealed by its USIG counter; if electing
+// a leader takes several rounds, each VIEW-CHANGE joins the history of
+// the next one, so the state replicas must retain — and the messages
+// they exchange — grow without a protocol-defined bound. The
+// unbounded-history tests measure exactly that growth against
+// Hybster's window-bounded view change.
+//
+// Scope: the implementation covers crash-fault recovery (the leader
+// stops; followers elect the next view and carry prepared instances
+// over). Two simplifications are documented in DESIGN.md: order
+// anchoring is carried in the VIEW-CHANGE (AnchorView/Order/Counter)
+// because MinBFT's counters-as-orders need a reference point, and a
+// Byzantine leader's fresh re-proposals are constrained by the
+// detection regime (UI sequence), not re-validated against the quorum
+// as Hybster's equivocation prevention allows.
+
+// evTick drives the suspicion watchdog and retransmission.
+type evTick struct{}
+
+// sentEntry is one history record: a message this replica sent under
+// UI counter "counter" while working on order "order".
+type sentEntry struct {
+	counter uint64
+	order   timeline.Order
+	raw     []byte
+}
+
+// recordSent appends a UI-consuming message to the history log.
+func (e *Engine) recordSent(ui usig.UI, order timeline.Order, m message.Message) {
+	e.lastSent = ui.Counter
+	e.sentLog = append(e.sentLog, sentEntry{counter: ui.Counter, order: order, raw: message.Marshal(m)})
+	e.mu.Lock()
+	e.histLenSnapshot = len(e.sentLog)
+	e.mu.Unlock()
+}
+
+// pruneHistory drops the history prefix covered by a stable checkpoint
+// at order o and advances the history base counter.
+func (e *Engine) pruneHistory(o timeline.Order) {
+	i := 0
+	for i < len(e.sentLog) && e.sentLog[i].order <= o {
+		e.histBase = e.sentLog[i].counter
+		i++
+	}
+	e.sentLog = append(e.sentLog[:0], e.sentLog[i:]...)
+}
+
+// historyBytes returns the raw history entries for a VIEW-CHANGE.
+func (e *Engine) historyBytes() [][]byte {
+	out := make([][]byte, len(e.sentLog))
+	for i, s := range e.sentLog {
+		out[i] = s.raw
+	}
+	return out
+}
+
+// HistoryLen exposes the current history length (tests measure the
+// §4.4 growth behaviour through it).
+func (e *Engine) HistoryLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.histLenSnapshot
+}
+
+// --- suspicion and REQ-VIEW-CHANGE ---
+
+func (e *Engine) handleTick() {
+	now := time.Now()
+	ps := e.pendingSince
+	if !e.pending {
+		if !ps.IsZero() && now.Sub(ps) > e.cfg.ViewChangeTimeout {
+			e.suspects.Add(1)
+			e.sendReqViewChange(e.view + 1)
+			e.pendingSince = now
+		}
+	} else {
+		if now.Sub(ps) > e.cfg.ViewChangeTimeout {
+			e.pendingSince = now
+			e.sendReqViewChange(e.pendingTo + 1)
+		}
+		// Retransmit our own VIEW-CHANGE while the view is pending.
+		if vc := e.ownVC; vc != nil {
+			transport.Multicast(e.ep, e.cfg.N, vc)
+		}
+	}
+}
+
+// noteWorkLocked marks outstanding work for the watchdog (run loop
+// only).
+func (e *Engine) noteWorkLocked() {
+	if e.pendingSince.IsZero() {
+		e.pendingSince = time.Now()
+	}
+}
+
+// noteProgress clears or restarts the watchdog after execution
+// progress; called from the exec loop through the inbox.
+type evProgress struct{ pending bool }
+
+func (e *Engine) sendReqViewChange(target timeline.View) {
+	if target <= e.view || target <= e.reqSent {
+		return
+	}
+	e.reqSent = target
+	req := &message.MinReqViewChange{Replica: e.id, View: target}
+	req.Auth = crypto.NewAuthenticator(e.ks, req.Digest(), e.cfg.N)
+	transport.Multicast(e.ep, e.cfg.N, req)
+	e.recordReqVC(e.id, target)
+}
+
+func (e *Engine) handleReqViewChange(from uint32, m *message.MinReqViewChange) {
+	if m.Replica != from || m.View <= e.view {
+		return
+	}
+	if !crypto.VerifyAuthenticator(e.ks, m.Auth, m.Digest()) {
+		return
+	}
+	e.recordReqVC(from, m.View)
+}
+
+// recordReqVC counts view-change requests; f+1 distinct requesters
+// justify actually aborting (one of them is correct).
+func (e *Engine) recordReqVC(from uint32, target timeline.View) {
+	byReplica, ok := e.reqVCs[target]
+	if !ok {
+		byReplica = make(map[uint32]bool)
+		e.reqVCs[target] = byReplica
+	}
+	byReplica[from] = true
+	if len(byReplica) >= e.cfg.F()+1 && target > e.view && (!e.pending || target > e.pendingTo) {
+		e.sendViewChange(target)
+	}
+}
+
+// --- VIEW-CHANGE ---
+
+func (e *Engine) sendViewChange(target timeline.View) {
+	vc := &message.MinViewChange{
+		Replica:       e.id,
+		View:          target,
+		CkptOrder:     e.low,
+		CkptProof:     e.ckptProof,
+		HistBase:      e.histBase,
+		History:       e.historyBytes(),
+		AnchorView:    e.anchorView,
+		AnchorOrder:   uint64(e.anchorOrder),
+		AnchorCounter: e.anchorCounter,
+	}
+	ui, err := e.sig.CreateUI(vc.Digest())
+	if err != nil {
+		return
+	}
+	vc.UI = ui
+	// The VIEW-CHANGE itself becomes part of the history — the §4.4
+	// growth: every unsuccessful election round compounds the next
+	// VIEW-CHANGE.
+	e.recordSent(ui, e.nextOrder, vc)
+
+	e.pending = true
+	e.pendingTo = target
+	e.pendingSince = time.Now()
+	e.ownVC = vc
+	e.storeVC(vc)
+	transport.Multicast(e.ep, e.cfg.N, vc)
+	e.maybeNewView(target)
+}
+
+func (e *Engine) storeVC(vc *message.MinViewChange) {
+	byReplica, ok := e.vcs[vc.View]
+	if !ok {
+		byReplica = make(map[uint32]*message.MinViewChange)
+		e.vcs[vc.View] = byReplica
+	}
+	if _, dup := byReplica[vc.Replica]; !dup {
+		byReplica[vc.Replica] = vc
+	}
+}
+
+// verifyViewChange checks a peer's VIEW-CHANGE: its UI, checkpoint
+// proof, and — the detection-regime core — that the history is a
+// gapless UI sequence from the claimed base to the VIEW-CHANGE's own
+// counter.
+func (e *Engine) verifyViewChange(vc *message.MinViewChange) error {
+	if err := e.sig.VerifyUI(vc.UI, vc.Digest()); err != nil {
+		return err
+	}
+	if vc.CkptOrder > 0 {
+		seen := make(map[uint32]bool)
+		var dig crypto.Digest
+		for i, ck := range vc.CkptProof {
+			if ck.Order != vc.CkptOrder || seen[ck.Replica] {
+				return fmt.Errorf("minbft: malformed checkpoint proof")
+			}
+			if i == 0 {
+				dig = ck.StateDigest
+			} else if ck.StateDigest != dig {
+				return fmt.Errorf("minbft: checkpoint digests differ")
+			}
+			ui := usig.UI{Issuer: ck.Replica | ckptIssuerFlag, Counter: ck.Cert.Value, MAC: ck.Cert.MAC}
+			if err := e.sigCkpt.VerifyUI(ui, ck.Digest()); err != nil {
+				return err
+			}
+			seen[ck.Replica] = true
+		}
+		if len(seen) < e.cfg.Quorum() {
+			return fmt.Errorf("minbft: checkpoint proof below quorum")
+		}
+	}
+	want := vc.HistBase + 1
+	for _, raw := range vc.History {
+		m, err := message.Unmarshal(raw)
+		if err != nil {
+			return fmt.Errorf("minbft: history entry: %w", err)
+		}
+		ui, ok := uiOf(m)
+		if !ok {
+			return fmt.Errorf("minbft: history entry without UI (%s)", m.MsgType())
+		}
+		if ui.Issuer != vc.Replica {
+			return fmt.Errorf("minbft: foreign history entry")
+		}
+		if ui.Counter != want {
+			return fmt.Errorf("minbft: history gap at counter %d (have %d)", want, ui.Counter)
+		}
+		d, ok := digestOf(m)
+		if !ok {
+			return fmt.Errorf("minbft: undigestable history entry")
+		}
+		if err := e.sig.VerifyUI(ui, d); err != nil {
+			return err
+		}
+		if com, ok := m.(*message.MinCommit); ok && com.Prepare != nil {
+			// The embedded proposal must be genuine and the one the
+			// commit acknowledged.
+			if com.Prepare.UI != com.PrepareUI || com.Prepare.BatchDigest() != com.BatchDigest {
+				return fmt.Errorf("minbft: commit embeds mismatched prepare")
+			}
+			if err := e.sig.VerifyUI(com.Prepare.UI, com.Prepare.Digest()); err != nil {
+				return err
+			}
+		}
+		want++
+	}
+	if want != vc.UI.Counter {
+		return fmt.Errorf("minbft: history ends at %d, view-change consumed %d — concealment", want-1, vc.UI.Counter)
+	}
+	return nil
+}
+
+func uiOf(m message.Message) (usig.UI, bool) {
+	switch v := m.(type) {
+	case *message.MinPrepare:
+		return v.UI, true
+	case *message.MinCommit:
+		return v.UI, true
+	case *message.MinViewChange:
+		return v.UI, true
+	case *message.MinNewView:
+		return v.UI, true
+	default:
+		return usig.UI{}, false
+	}
+}
+
+func digestOf(m message.Message) (crypto.Digest, bool) {
+	switch v := m.(type) {
+	case *message.MinPrepare:
+		return v.Digest(), true
+	case *message.MinCommit:
+		return v.Digest(), true
+	case *message.MinViewChange:
+		return v.Digest(), true
+	case *message.MinNewView:
+		return v.Digest(), true
+	default:
+		return crypto.Digest{}, false
+	}
+}
+
+func (e *Engine) handleViewChange(from uint32, vc *message.MinViewChange) {
+	if vc.Replica != from || vc.View <= e.view {
+		return
+	}
+	if err := e.verifyViewChange(vc); err != nil {
+		return
+	}
+	e.storeVC(vc)
+	// f+1 view changes for a higher view: join (one is correct).
+	if len(e.vcs[vc.View]) >= e.cfg.F()+1 && (!e.pending || e.pendingTo < vc.View) && vc.View > e.view {
+		e.sendViewChange(vc.View)
+	}
+	if e.cfg.LeaderOf(vc.View) == e.id {
+		e.maybeNewView(vc.View)
+	}
+}
+
+// --- NEW-VIEW ---
+
+// minTransfer derives the new view's starting checkpoint and the
+// batches to re-propose from a quorum of VIEW-CHANGEs.
+func minTransfer(vcs map[uint32]*message.MinViewChange) (startCkpt timeline.Order, batches [][]*message.Request) {
+	for _, vc := range vcs {
+		if vc.CkptOrder > startCkpt {
+			startCkpt = vc.CkptOrder
+		}
+	}
+	// The anchor of the highest view any quorum member participated
+	// in translates that view's leader counters into order numbers.
+	var vmax timeline.View
+	var anchorOrder, anchorCounter uint64
+	for _, vc := range vcs {
+		if vc.AnchorView >= vmax && vc.AnchorCounter > 0 {
+			vmax = vc.AnchorView
+			anchorOrder, anchorCounter = vc.AnchorOrder, vc.AnchorCounter
+		}
+	}
+	byOrder := make(map[timeline.Order][]*message.Request)
+	var maxO timeline.Order
+	consider := func(prep *message.MinPrepare) {
+		if prep == nil || prep.View != vmax || anchorCounter == 0 {
+			return
+		}
+		if prep.UI.Counter < anchorCounter {
+			return
+		}
+		o := timeline.Order(anchorOrder + (prep.UI.Counter - anchorCounter))
+		if o <= startCkpt {
+			return
+		}
+		byOrder[o] = prep.Requests
+		if o > maxO {
+			maxO = o
+		}
+	}
+	for _, vc := range vcs {
+		for _, raw := range vc.History {
+			m, err := message.Unmarshal(raw)
+			if err != nil {
+				continue
+			}
+			switch v := m.(type) {
+			case *message.MinPrepare:
+				// A leader's own proposal.
+				consider(v)
+			case *message.MinCommit:
+				// A follower's acknowledgment embeds the proposal it
+				// answered — that is how proposals survive a crashed
+				// leader whose history nobody has.
+				consider(v.Prepare)
+			}
+		}
+	}
+	for o := startCkpt + 1; o <= maxO; o++ {
+		batches = append(batches, byOrder[o]) // nil = no-op gap filler
+	}
+	return startCkpt, batches
+}
+
+func (e *Engine) maybeNewView(target timeline.View) {
+	if e.cfg.LeaderOf(target) != e.id || e.nvDone[target] {
+		return
+	}
+	if !e.pending || e.pendingTo != target {
+		return
+	}
+	vcs := e.vcs[target]
+	if len(vcs) < e.cfg.Quorum() {
+		return
+	}
+	nv := &message.MinNewView{View: target}
+	for _, vc := range vcs {
+		nv.VCs = append(nv.VCs, vc)
+	}
+	sort.Slice(nv.VCs, func(i, j int) bool { return nv.VCs[i].Replica < nv.VCs[j].Replica })
+	ui, err := e.sig.CreateUI(nv.Digest())
+	if err != nil {
+		return
+	}
+	nv.UI = ui
+	e.recordSent(ui, e.nextOrder, nv)
+	transport.Multicast(e.ep, e.cfg.N, nv)
+	e.nvDone[target] = true
+
+	startCkpt, batches := minTransfer(vcs)
+	// Our first fresh prepare consumes the counter after the NEW-VIEW
+	// we just recorded.
+	e.install(target, startCkpt, batches, true, e.lastSent+1)
+}
+
+func (e *Engine) handleNewView(from uint32, nv *message.MinNewView) {
+	if nv.View <= e.view || from != e.cfg.LeaderOf(nv.View) {
+		return
+	}
+	if err := e.sig.VerifyUI(nv.UI, nv.Digest()); err != nil {
+		return
+	}
+	vcs := make(map[uint32]*message.MinViewChange)
+	for _, vc := range nv.VCs {
+		if vc.View != nv.View {
+			return
+		}
+		if err := e.verifyViewChange(vc); err != nil {
+			return
+		}
+		vcs[vc.Replica] = vc
+	}
+	if len(vcs) < e.cfg.Quorum() {
+		return
+	}
+	startCkpt, batches := minTransfer(vcs)
+	// The leader's first fresh prepare consumes the counter after its
+	// NEW-VIEW.
+	e.install(nv.View, startCkpt, batches, false, nv.UI.Counter+1)
+}
+
+// install enters the new view: aborted instances above the checkpoint
+// are dropped (their batches return via re-proposal), the order
+// cursor re-anchors, and — as the new leader — the transferred batches
+// are proposed afresh with new UIs.
+func (e *Engine) install(v timeline.View, startCkpt timeline.Order, batches [][]*message.Request, leader bool, anchorCounter uint64) {
+	e.view = v
+	e.pending = false
+	e.reqSent = v // allow future requests for v+1
+	for o := range e.slots {
+		if o > startCkpt {
+			delete(e.slots, o)
+		}
+	}
+	for c, o := range e.orderByCounter {
+		if o > startCkpt {
+			delete(e.orderByCounter, c)
+		}
+	}
+	e.nextOrder = startCkpt + 1
+	// Anchor for the new view: the leader's first fresh prepare (the
+	// first re-proposal) carries counter anchorCounter and gets order
+	// startCkpt+1.
+	e.anchorView = v
+	e.anchorOrder = e.nextOrder
+	e.anchorCounter = anchorCounter
+
+	for view := range e.reqVCs {
+		if view <= v {
+			delete(e.reqVCs, view)
+		}
+	}
+	for view := range e.vcs {
+		if view <= v {
+			delete(e.vcs, view)
+		}
+	}
+	e.ownVC = nil
+	e.pendingSince = time.Time{}
+
+	if leader {
+		for _, batch := range batches {
+			e.proposeBatch(batch)
+		}
+		e.propose() // queued client requests follow the re-proposals
+	}
+}
+
+// proposeBatch certifies and multicasts one exact batch (view-change
+// re-proposals must not be re-batched).
+func (e *Engine) proposeBatch(batch []*message.Request) {
+	prep := &message.MinPrepare{View: e.view, Requests: batch}
+	ui, err := e.sig.CreateUI(prep.Digest())
+	if err != nil {
+		return
+	}
+	prep.UI = ui
+	e.recordSent(ui, e.nextOrder, prep)
+	transport.Multicast(e.ep, e.cfg.N, prep)
+	e.ingest(e.id, ui, prep)
+}

@@ -1,0 +1,213 @@
+// Package order implements the ordering window of a pillar: the log of
+// ongoing consensus instances between the low and high water marks
+// (§5.2.2, "Strict Ordering Window"). Each slot accumulates the PREPARE
+// and COMMIT messages of one instance until a committed certificate —
+// a quorum of acknowledgments including the leader's PREPARE — is
+// complete. Advancing a stable checkpoint slides the window and garbage
+// collects older slots, which bounds memory; Hybster adheres to this
+// window even during view changes.
+//
+// A Window is confined to a single pillar goroutine and therefore
+// performs no locking.
+package order
+
+import (
+	"fmt"
+
+	"hybster/internal/crypto"
+	"hybster/internal/message"
+	"hybster/internal/timeline"
+)
+
+// Slot tracks one consensus instance within the window.
+type Slot struct {
+	// Order is the instance's order number.
+	Order timeline.Order
+	// View is the view the slot's messages belong to. Messages from
+	// older views are discarded when the slot moves to a newer view.
+	View timeline.View
+	// Prepare is the leader's proposal, once received (or sent).
+	Prepare *message.Prepare
+	// BatchDigest caches the digest of the proposed batch.
+	BatchDigest crypto.Digest
+	// acks records which replicas acknowledged the instance in View:
+	// the proposer through its PREPARE, followers through COMMITs.
+	acks map[uint32]bool
+	// Committed is set once a committed certificate is complete.
+	Committed bool
+	// Executed is set once the execution stage delivered the batch.
+	Executed bool
+}
+
+// Acks returns the number of distinct acknowledgments collected.
+func (s *Slot) Acks() int { return len(s.acks) }
+
+// AddOwnAck records the local replica's acknowledgment (its COMMIT)
+// directly, without a message. Callers follow up with Window.Refresh.
+func (s *Slot) AddOwnAck(r uint32) { s.acks[r] = true }
+
+// HasAck reports whether replica r acknowledged the instance.
+func (s *Slot) HasAck(r uint32) bool { return s.acks[r] }
+
+// reset clears per-view state when the slot transitions to a new view.
+func (s *Slot) reset(v timeline.View) {
+	s.View = v
+	s.Prepare = nil
+	s.BatchDigest = crypto.Digest{}
+	s.acks = make(map[uint32]bool)
+	s.Committed = false
+	// Executed survives: execution is permanent across views.
+}
+
+// Window is the sliding ordering window of one pillar.
+type Window struct {
+	low    timeline.Order // last stable checkpoint; instances <= low are done
+	size   timeline.Order // high water mark = low + size
+	quorum int
+	slots  map[timeline.Order]*Slot
+}
+
+// NewWindow creates a window of the given span and quorum size
+// starting at low water mark 0.
+func NewWindow(size timeline.Order, quorum int) *Window {
+	if size == 0 || quorum < 1 {
+		panic(fmt.Sprintf("order: invalid window size=%d quorum=%d", size, quorum))
+	}
+	return &Window{size: size, quorum: quorum, slots: make(map[timeline.Order]*Slot)}
+}
+
+// Low returns the low water mark (the last stable checkpoint order).
+func (w *Window) Low() timeline.Order { return w.low }
+
+// High returns the high water mark; replicas do not participate in
+// instances above it.
+func (w *Window) High() timeline.Order { return w.low + w.size }
+
+// InWindow reports whether order o lies inside the active window
+// (low, high].
+func (w *Window) InWindow(o timeline.Order) bool {
+	return o > w.low && o <= w.High()
+}
+
+// Slot returns the slot of instance o in view v, creating it on first
+// access. If the slot currently holds state of an older view, it is
+// reset for v (messages of aborted views are obsolete; re-proposals in
+// the new view replace them). Accessing a slot with an older view than
+// recorded returns nil — the caller's message is stale.
+func (w *Window) Slot(o timeline.Order, v timeline.View) *Slot {
+	if !w.InWindow(o) {
+		return nil
+	}
+	s, ok := w.slots[o]
+	if !ok {
+		s = &Slot{Order: o, View: v, acks: make(map[uint32]bool)}
+		w.slots[o] = s
+		return s
+	}
+	switch {
+	case v > s.View:
+		s.reset(v)
+	case v < s.View:
+		return nil
+	}
+	return s
+}
+
+// Existing returns the slot of o if present, without creating or
+// resetting it.
+func (w *Window) Existing(o timeline.Order) *Slot { return w.slots[o] }
+
+// SetPrepare records the proposal for its instance. It returns the slot
+// or nil if the message is outside the window or stale. The caller has
+// already verified the certificate.
+func (w *Window) SetPrepare(p *message.Prepare) *Slot {
+	s := w.Slot(p.Order, p.View)
+	if s == nil || s.Prepare != nil {
+		return s
+	}
+	s.Prepare = p
+	s.BatchDigest = p.BatchDigest()
+	proposer := trinxReplica(p)
+	s.acks[proposer] = true
+	w.refresh(s)
+	return s
+}
+
+// AddCommit records a follower acknowledgment. It returns the slot or
+// nil if the commit is outside the window, stale, or inconsistent with
+// the prepared batch.
+func (w *Window) AddCommit(c *message.Commit) *Slot {
+	s := w.Slot(c.Order, c.View)
+	if s == nil {
+		return nil
+	}
+	if s.Prepare != nil && s.BatchDigest != c.BatchDigest {
+		// Conflicting digest: with valid independent certificates this
+		// cannot happen for the same (view, order); drop defensively.
+		return nil
+	}
+	s.acks[c.Replica] = true
+	w.refresh(s)
+	return s
+}
+
+// Refresh recomputes the committed flag after out-of-band ack changes
+// (AddOwnAck).
+func (w *Window) Refresh(s *Slot) { w.refresh(s) }
+
+// refresh recomputes the committed flag.
+func (w *Window) refresh(s *Slot) {
+	if !s.Committed && s.Prepare != nil && len(s.acks) >= w.quorum {
+		s.Committed = true
+	}
+}
+
+// Advance slides the window to a new stable checkpoint at order ckpt:
+// the low water mark becomes ckpt and every slot at or below it is
+// discarded (§5.2.2). Advancing backwards is a no-op.
+func (w *Window) Advance(ckpt timeline.Order) {
+	if ckpt <= w.low {
+		return
+	}
+	w.low = ckpt
+	for o := range w.slots {
+		if o <= ckpt {
+			delete(w.slots, o)
+		}
+	}
+}
+
+// Prepares returns the PREPAREs of all instances in the window the
+// replica participated in, ordered by order number — the disclosure a
+// VIEW-CHANGE must carry (§5.2.3).
+func (w *Window) Prepares() []*message.Prepare {
+	var out []*message.Prepare
+	for o := w.low + 1; o <= w.High(); o++ {
+		if s, ok := w.slots[o]; ok && s.Prepare != nil {
+			out = append(out, s.Prepare)
+		}
+	}
+	return out
+}
+
+// CommittedUnexecuted returns the committed but not yet executed slots
+// in ascending order.
+func (w *Window) CommittedUnexecuted() []*Slot {
+	var out []*Slot
+	for o := w.low + 1; o <= w.High(); o++ {
+		if s, ok := w.slots[o]; ok && s.Committed && !s.Executed {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Len returns the number of live slots (diagnostics; memory-bound
+// tests rely on it).
+func (w *Window) Len() int { return len(w.slots) }
+
+// trinxReplica extracts the proposing replica from the prepare's
+// certificate issuer.
+func trinxReplica(p *message.Prepare) uint32 {
+	return p.Cert.Issuer.Replica()
+}

@@ -1,0 +1,534 @@
+package pbft
+
+import (
+	"time"
+
+	"hybster/internal/checkpoint"
+	"hybster/internal/cop"
+	"hybster/internal/crypto"
+	"hybster/internal/message"
+	"hybster/internal/timeline"
+	"hybster/internal/transport"
+	"hybster/internal/trinx"
+)
+
+// Events delivered to the coordinator mailbox.
+type (
+	evCkptCandidate struct {
+		order    timeline.Order
+		digest   crypto.Digest
+		snapshot []byte
+		rv       []byte
+	}
+	evStable struct {
+		stable *checkpoint.Stable[*message.PBFTCheckpoint]
+	}
+	evBehind struct{}
+)
+
+type stableCkpt struct {
+	order    timeline.Order
+	digest   crypto.Digest
+	proof    []*message.PBFTCheckpoint
+	snapshot []byte
+	rv       []byte
+}
+
+// coordinator runs PBFT's checkpoint bookkeeping, the PBFT view-change
+// protocol (VIEW-CHANGE carrying prepared certificates, NEW-VIEW with
+// re-issued PRE-PREPAREs), and state transfer.
+type coordinator struct {
+	e     *Engine
+	tx    *trinx.TrInX // nil for PBFTcop
+	inbox *cop.Mailbox[any]
+
+	curView      timeline.View
+	pending      bool
+	pendingTo    timeline.View
+	pendingSince time.Time
+
+	lastStable stableCkpt
+	candidates map[timeline.Order]evCkptCandidate
+
+	vcs          map[timeline.View]map[uint32]*message.PBFTViewChange
+	ownVC        map[timeline.View]*message.PBFTViewChange
+	nvDone       map[timeline.View]bool
+	lastNV       *message.PBFTNewView
+	lastStateReq time.Time
+}
+
+func newCoordinator(e *Engine, tx *trinx.TrInX) *coordinator {
+	return &coordinator{
+		e:          e,
+		tx:         tx,
+		inbox:      cop.NewMailbox[any](),
+		candidates: make(map[timeline.Order]evCkptCandidate),
+		vcs:        make(map[timeline.View]map[uint32]*message.PBFTViewChange),
+		ownVC:      make(map[timeline.View]*message.PBFTViewChange),
+		nvDone:     make(map[timeline.View]bool),
+	}
+}
+
+func (c *coordinator) run() {
+	stopTick := make(chan struct{})
+	go func() {
+		t := time.NewTicker(c.e.cfg.ViewChangeTimeout / 4)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.inbox.Put(evTick{})
+			case <-stopTick:
+				return
+			}
+		}
+	}()
+	defer close(stopTick)
+
+	for {
+		ev, ok := c.inbox.Get()
+		if !ok {
+			return
+		}
+		switch v := ev.(type) {
+		case inMsg:
+			c.handleMessage(v.from, v.msg)
+		case evCkptCandidate:
+			c.handleCandidate(v)
+		case evStable:
+			c.handleStable(v.stable)
+		case evBehind:
+			c.maybeRequestState()
+		case evTick:
+			c.handleTick()
+		}
+	}
+}
+
+func (c *coordinator) handleMessage(from uint32, m message.Message) {
+	switch v := m.(type) {
+	case *message.PBFTViewChange:
+		c.handleViewChange(from, v)
+	case *message.PBFTNewView:
+		c.handleNewView(from, v)
+	case *message.StateRequest:
+		c.handleStateRequest(from, v)
+	case *message.StateReply:
+		c.handleStateReply(v)
+	}
+}
+
+// --- checkpoints ---
+
+func (c *coordinator) handleCandidate(ev evCkptCandidate) {
+	if ev.order <= c.lastStable.order {
+		return
+	}
+	c.candidates[ev.order] = ev
+	for o := range c.candidates {
+		if o+2*c.e.cfg.CheckpointInterval <= ev.order {
+			delete(c.candidates, o)
+		}
+	}
+	owner := c.e.cfg.CheckpointPillar(ev.order) % uint32(len(c.e.pillars))
+	c.e.pillars[owner].inbox.Put(evCkptDue{order: ev.order, digest: ev.digest})
+}
+
+func (c *coordinator) handleStable(s *checkpoint.Stable[*message.PBFTCheckpoint]) {
+	if s.Order <= c.lastStable.order {
+		return
+	}
+	st := stableCkpt{order: s.Order, digest: s.Digest, proof: s.Proof}
+	if cand, ok := c.candidates[s.Order]; ok && cand.digest == s.Digest {
+		st.snapshot, st.rv = cand.snapshot, cand.rv
+	}
+	c.lastStable = st
+	for o := range c.candidates {
+		if o <= s.Order {
+			delete(c.candidates, o)
+		}
+	}
+	for _, p := range c.e.pillars {
+		p.inbox.Put(evAdvance{order: s.Order})
+	}
+	if st.snapshot == nil && s.Order > c.e.exec.lastExecuted() {
+		c.maybeRequestState()
+	}
+}
+
+// --- state transfer ---
+
+func (c *coordinator) maybeRequestState() {
+	now := c.e.now()
+	if now.Sub(c.lastStateReq) < time.Second {
+		return
+	}
+	c.lastStateReq = now
+	req := &message.StateRequest{Replica: c.e.id, From: c.e.exec.lastExecuted() + 1}
+	transport.Multicast(c.e.ep, c.e.cfg.N, req)
+}
+
+func (c *coordinator) handleStateRequest(from uint32, req *message.StateRequest) {
+	if c.lastStable.snapshot == nil || c.lastStable.order < req.From {
+		return
+	}
+	_ = c.e.ep.Send(from, &message.StateReply{
+		Replica:     c.e.id,
+		CkptOrder:   c.lastStable.order,
+		Snapshot:    c.lastStable.snapshot,
+		ReplyVector: c.lastStable.rv,
+		// Proof is omitted on the wire for PBFT replies (the message
+		// type carries Hybster checkpoints); the digest is re-verified
+		// against the stable checkpoint below.
+	})
+}
+
+func (c *coordinator) handleStateReply(rep *message.StateReply) {
+	if rep.CkptOrder <= c.e.exec.lastExecuted() {
+		return
+	}
+	// Accept only state matching a digest we know to be stable: either
+	// our own stable checkpoint or — during a view change — the
+	// checkpoint claimed by a quorum of view-change messages.
+	digest := combineStateDigest(rep.Snapshot, rep.ReplyVector)
+	if rep.CkptOrder != c.lastStable.order || digest != c.lastStable.digest {
+		return
+	}
+	done := make(chan error, 1)
+	c.e.exec.inbox.Put(evInstallState{ckpt: rep.CkptOrder, snapshot: rep.Snapshot, rv: rep.ReplyVector, done: done})
+	select {
+	case err := <-done:
+		if err != nil {
+			return
+		}
+	case <-c.e.stopped:
+		return
+	}
+	if c.lastStable.snapshot == nil {
+		c.lastStable.snapshot, c.lastStable.rv = rep.Snapshot, rep.ReplyVector
+	}
+	for _, p := range c.e.pillars {
+		p.inbox.Put(evAdvance{order: rep.CkptOrder})
+	}
+	c.e.noteProgress(false)
+}
+
+// --- view change ---
+
+func (c *coordinator) handleTick() {
+	for _, p := range c.e.pillars {
+		p.inbox.Put(evTick{})
+	}
+	now := c.e.now()
+	ps := c.e.pendingSince.Load()
+
+	if !c.pending {
+		if ps != 0 && now.Sub(time.Unix(0, ps)) > c.e.cfg.ViewChangeTimeout {
+			c.startViewChange(c.curView + 1)
+		} else if ps != 0 && now.Sub(time.Unix(0, ps)) > c.e.cfg.ViewChangeTimeout/8 {
+			c.e.seq.proposeNoop(c.curView, c.e.exec.nextNeeded())
+		}
+	} else {
+		if now.Sub(c.pendingSince) > c.e.cfg.ViewChangeTimeout {
+			c.pendingSince = now
+			c.startViewChange(c.pendingTo + 1)
+		}
+		if vc, ok := c.ownVC[c.pendingTo]; ok {
+			transport.Multicast(c.e.ep, c.e.cfg.N, vc)
+		}
+	}
+}
+
+// startViewChange aborts toward view "to": gather prepared proofs from
+// all pillars and multicast the VIEW-CHANGE.
+func (c *coordinator) startViewChange(to timeline.View) {
+	if to <= c.curView || (c.pending && to <= c.pendingTo) {
+		return
+	}
+	var prepared []message.PreparedProof
+	for _, p := range c.e.pillars {
+		reply := make(chan []message.PreparedProof, 1)
+		p.inbox.Put(evCollectVC{reply: reply})
+		select {
+		case proofs := <-reply:
+			prepared = append(prepared, proofs...)
+		case <-c.e.stopped:
+			return
+		}
+	}
+	vc := &message.PBFTViewChange{
+		Replica:   c.e.id,
+		View:      to,
+		CkptOrder: c.lastStable.order,
+		CkptProof: c.lastStable.proof,
+		Prepared:  prepared,
+	}
+	proof, err := c.e.sign(c.tx, vc.Digest())
+	if err != nil {
+		return
+	}
+	vc.Proof = proof
+	c.pending = true
+	c.pendingTo = to
+	c.pendingSince = c.e.now()
+	c.ownVC = map[timeline.View]*message.PBFTViewChange{to: vc}
+	c.storeVC(vc)
+	transport.Multicast(c.e.ep, c.e.cfg.N, vc)
+	c.maybeEmitNewView(to)
+}
+
+func (c *coordinator) storeVC(vc *message.PBFTViewChange) {
+	byReplica, ok := c.vcs[vc.View]
+	if !ok {
+		byReplica = make(map[uint32]*message.PBFTViewChange)
+		c.vcs[vc.View] = byReplica
+	}
+	if _, dup := byReplica[vc.Replica]; !dup {
+		byReplica[vc.Replica] = vc
+	}
+}
+
+// verifyViewChange validates a PBFT VIEW-CHANGE message.
+func (c *coordinator) verifyViewChange(vc *message.PBFTViewChange) bool {
+	if !c.e.verify(c.tx, &vc.Proof, vc.Digest(), vc.Replica) {
+		return false
+	}
+	// Checkpoint proof: quorum of valid checkpoint messages for the
+	// claimed order with one digest.
+	if vc.CkptOrder > 0 {
+		seen := make(map[uint32]bool)
+		var dig crypto.Digest
+		for i, ck := range vc.CkptProof {
+			if ck.Order != vc.CkptOrder || seen[ck.Replica] {
+				return false
+			}
+			if i == 0 {
+				dig = ck.StateDigest
+			} else if ck.StateDigest != dig {
+				return false
+			}
+			if !c.e.verify(c.tx, &ck.Proof, ck.Digest(), ck.Replica) {
+				return false
+			}
+			seen[ck.Replica] = true
+		}
+		if len(seen) < c.e.cfg.Quorum() {
+			return false
+		}
+	}
+	// Prepared proofs: PRE-PREPARE plus 2f matching PREPAREs each.
+	f := c.e.cfg.F()
+	for _, pp := range vc.Prepared {
+		ppre := pp.PrePrepare
+		if ppre == nil {
+			return false
+		}
+		proposer := c.e.cfg.ProposerOf(ppre.View, ppre.Order)
+		if !c.e.verify(c.tx, &ppre.Proof, ppre.Digest(), proposer) {
+			return false
+		}
+		bd := ppre.BatchDigest()
+		seen := make(map[uint32]bool)
+		for _, prep := range pp.Prepares {
+			if prep.View != ppre.View || prep.Order != ppre.Order || prep.BatchDigest != bd {
+				return false
+			}
+			if prep.Replica == proposer || seen[prep.Replica] {
+				return false
+			}
+			if !c.e.verify(c.tx, &prep.Proof, prep.Digest(), prep.Replica) {
+				return false
+			}
+			seen[prep.Replica] = true
+		}
+		if len(seen) < 2*f {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *coordinator) handleViewChange(from uint32, vc *message.PBFTViewChange) {
+	if vc.Replica != from {
+		return
+	}
+	if vc.View <= c.curView {
+		if c.lastNV != nil && c.lastNV.View == c.curView {
+			_ = c.e.ep.Send(from, c.lastNV)
+		}
+		return
+	}
+	if !c.verifyViewChange(vc) {
+		return
+	}
+	c.storeVC(vc)
+
+	// Join once f+1 replicas abort (PBFT's liveness rule).
+	if len(c.vcs[vc.View]) > c.e.cfg.F() && (!c.pending || c.pendingTo < vc.View) {
+		c.startViewChange(vc.View)
+	}
+	if c.e.cfg.LeaderOf(vc.View) == c.e.id {
+		c.maybeEmitNewView(vc.View)
+	}
+}
+
+// computeTransfer derives the new view's starting checkpoint and
+// re-proposals from a quorum of view changes: for each order the
+// prepared proof with the highest view wins; gaps become no-ops.
+func computeTransfer(vcSet map[uint32]*message.PBFTViewChange) (timeline.Order, []*message.PrePrepare) {
+	var startCkpt timeline.Order
+	best := make(map[timeline.Order]*message.PrePrepare)
+	for _, vc := range vcSet {
+		if vc.CkptOrder > startCkpt {
+			startCkpt = vc.CkptOrder
+		}
+		for _, pp := range vc.Prepared {
+			cur, ok := best[pp.PrePrepare.Order]
+			if !ok || pp.PrePrepare.View > cur.View {
+				best[pp.PrePrepare.Order] = pp.PrePrepare
+			}
+		}
+	}
+	var maxO timeline.Order
+	for o := range best {
+		if o > maxO {
+			maxO = o
+		}
+	}
+	var out []*message.PrePrepare
+	for o := startCkpt + 1; o <= maxO; o++ {
+		var reqs []*message.Request
+		if pp, ok := best[o]; ok {
+			reqs = pp.Requests
+		}
+		out = append(out, &message.PrePrepare{Order: o, Requests: reqs})
+	}
+	return startCkpt, out
+}
+
+func (c *coordinator) maybeEmitNewView(w timeline.View) {
+	if c.nvDone[w] || c.e.cfg.LeaderOf(w) != c.e.id {
+		return
+	}
+	if !c.pending || c.pendingTo != w {
+		return
+	}
+	vcSet := c.vcs[w]
+	if len(vcSet) < c.e.cfg.Quorum() {
+		return
+	}
+	startCkpt, templates := computeTransfer(vcSet)
+	if startCkpt > c.lastStable.order {
+		c.maybeRequestState()
+		return
+	}
+	newPPs := make([]*message.PrePrepare, 0, len(templates))
+	for _, t := range templates {
+		pp := &message.PrePrepare{View: w, Order: t.Order, Requests: t.Requests}
+		proof, err := c.e.sign(c.tx, pp.Digest())
+		if err != nil {
+			return
+		}
+		pp.Proof = proof
+		newPPs = append(newPPs, pp)
+	}
+	nv := &message.PBFTNewView{View: w, PrePrepares: newPPs}
+	for _, vc := range vcSet {
+		nv.VCs = append(nv.VCs, vc)
+	}
+	proof, err := c.e.sign(c.tx, nv.Digest())
+	if err != nil {
+		return
+	}
+	nv.Proof = proof
+	transport.Multicast(c.e.ep, c.e.cfg.N, nv)
+	c.nvDone[w] = true
+	c.lastNV = nv
+	c.install(w, startCkpt, newPPs, true)
+}
+
+func (c *coordinator) handleNewView(from uint32, nv *message.PBFTNewView) {
+	w := nv.View
+	if w <= c.curView || from != c.e.cfg.LeaderOf(w) {
+		return
+	}
+	if !c.e.verify(c.tx, &nv.Proof, nv.Digest(), from) {
+		return
+	}
+	vcSet := make(map[uint32]*message.PBFTViewChange)
+	for _, vc := range nv.VCs {
+		if vc.View != w || !c.verifyViewChange(vc) {
+			return
+		}
+		vcSet[vc.Replica] = vc
+	}
+	if len(vcSet) < c.e.cfg.Quorum() {
+		return
+	}
+	startCkpt, templates := computeTransfer(vcSet)
+	if len(templates) != len(nv.PrePrepares) {
+		return
+	}
+	for i, t := range templates {
+		pp := nv.PrePrepares[i]
+		if pp.View != w || pp.Order != t.Order ||
+			message.BatchDigest(pp.Requests) != message.BatchDigest(t.Requests) {
+			return
+		}
+		if !c.e.verify(c.tx, &pp.Proof, pp.Digest(), from) {
+			return
+		}
+	}
+	c.lastNV = nv
+	c.install(w, startCkpt, nv.PrePrepares, false)
+}
+
+func (c *coordinator) install(w timeline.View, startCkpt timeline.Order, pps []*message.PrePrepare, leader bool) {
+	c.curView = w
+	c.e.curView.Store(uint64(w))
+	c.pending = false
+	c.pendingTo = 0
+
+	if startCkpt > c.lastStable.order {
+		// Adopt the quorum's checkpoint claim; the state itself comes
+		// through state transfer.
+		for _, vcSet := range c.vcs {
+			for _, vc := range vcSet {
+				if vc.CkptOrder == startCkpt && len(vc.CkptProof) > 0 {
+					c.lastStable = stableCkpt{
+						order: startCkpt, digest: vc.CkptProof[0].StateDigest, proof: vc.CkptProof,
+					}
+				}
+			}
+		}
+		if startCkpt > c.e.exec.lastExecuted() {
+			c.maybeRequestState()
+		}
+	}
+
+	pillars := uint32(len(c.e.pillars))
+	byPillar := make([][]*message.PrePrepare, pillars)
+	var maxOrder timeline.Order = startCkpt
+	for _, pp := range pps {
+		u := c.e.cfg.PillarOf(pp.Order) % pillars
+		byPillar[u] = append(byPillar[u], pp)
+		if pp.Order > maxOrder {
+			maxOrder = pp.Order
+		}
+	}
+	for u, p := range c.e.pillars {
+		p.inbox.Put(evInstallView{view: w, startCkpt: startCkpt, prePrepares: byPillar[u], leader: leader})
+	}
+	for v := range c.vcs {
+		if v <= w {
+			delete(c.vcs, v)
+		}
+	}
+	for v := range c.nvDone {
+		if v < w {
+			delete(c.nvDone, v)
+		}
+	}
+	c.e.seq.resetForView(w, maxOrder)
+	c.e.noteProgress(false)
+}

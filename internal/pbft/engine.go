@@ -1,0 +1,348 @@
+// Package pbft implements the baseline the paper evaluates Hybster
+// against (§6): Castro & Liskov's PBFT restructured with the
+// consensus-oriented parallelization scheme — PBFTcop — plus the
+// HybridPBFT configuration that replaces MAC authenticators with TrInX
+// trusted MACs (§5.1, "Trusted MAC Certificates").
+//
+// PBFT runs on the pure Byzantine fault model: n = 3f+1 replicas,
+// three ordering phases (PRE-PREPARE, PREPARE, COMMIT), quorums of
+// 2f+1. Unlike Hybster, no trusted counter constrains processing
+// order, so pillars can certify instances of their class in any order;
+// the parallelization only partitions the instance space.
+//
+// The structure mirrors internal/core: pillars + execution stage +
+// coordinator (checkpoint stability, view changes, state transfer).
+package pbft
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybster/internal/config"
+	"hybster/internal/crypto"
+	"hybster/internal/enclave"
+	"hybster/internal/message"
+	"hybster/internal/statemachine"
+	"hybster/internal/timeline"
+	"hybster/internal/transport"
+	"hybster/internal/trinx"
+)
+
+// counterM is the TrInX counter used for trusted MACs in the
+// HybridPBFT configuration.
+const counterM uint32 = 0
+
+// Options bundle the dependencies of an Engine.
+type Options struct {
+	Config      config.Config
+	ID          uint32
+	Endpoint    transport.Endpoint
+	Application statemachine.Application
+	// Platform hosts TrInX enclaves; required for HybridPBFT, unused
+	// by PBFTcop.
+	Platform    *enclave.Platform
+	EnclaveCost enclave.CostModel
+	Now         func() time.Time
+}
+
+// Engine is one PBFT replica.
+type Engine struct {
+	cfg    config.Config
+	id     uint32
+	ep     transport.Endpoint
+	ks     *crypto.KeyStore
+	now    func() time.Time
+	hybrid bool // true for HybridPBFT (trusted MACs)
+
+	pillars []*pillar
+	exec    *execLoop
+	coord   *coordinator
+	seq     *sequencer
+
+	curView      atomic.Uint64
+	pendingSince atomic.Int64
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New assembles a PBFT replica.
+func New(opts Options) (*Engine, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	key := crypto.NewKeyFromSeed(opts.Config.KeySeed)
+	e := &Engine{
+		cfg:     opts.Config,
+		id:      opts.ID,
+		ep:      opts.Endpoint,
+		ks:      crypto.NewKeyStore(opts.ID, key),
+		now:     opts.Now,
+		hybrid:  opts.Config.Protocol == config.HybridPBFT,
+		stopped: make(chan struct{}),
+	}
+	e.exec = newExecLoop(e, opts.Application)
+	var coordTx *trinx.TrInX
+	if e.hybrid {
+		coordTx = trinx.New(opts.Platform, trinx.MakeInstanceID(opts.ID, 0xffff), 1, key, opts.EnclaveCost)
+	}
+	e.coord = newCoordinator(e, coordTx)
+	e.pillars = make([]*pillar, opts.Config.Pillars)
+	for u := range e.pillars {
+		var tx *trinx.TrInX
+		if e.hybrid {
+			tx = trinx.New(opts.Platform, trinx.MakeInstanceID(opts.ID, uint32(u)), 1, key, opts.EnclaveCost)
+		}
+		e.pillars[u] = newPillar(e, uint32(u), tx)
+	}
+	e.seq = newSequencer(e)
+	return e, nil
+}
+
+// ID returns the replica ID.
+func (e *Engine) ID() uint32 { return e.id }
+
+// View returns the current stable view.
+func (e *Engine) View() timeline.View { return timeline.View(e.curView.Load()) }
+
+// LastExecuted returns the highest executed order number.
+func (e *Engine) LastExecuted() timeline.Order { return e.exec.lastExecuted() }
+
+// Start launches the replica.
+func (e *Engine) Start() {
+	e.ep.Handle(e.route)
+	for _, p := range e.pillars {
+		e.wg.Add(1)
+		go func(p *pillar) { defer e.wg.Done(); p.run() }(p)
+	}
+	e.wg.Add(2)
+	go func() { defer e.wg.Done(); e.exec.run() }()
+	go func() { defer e.wg.Done(); e.coord.run() }()
+}
+
+// Stop shuts the replica down.
+func (e *Engine) Stop() {
+	e.stopOnce.Do(func() {
+		close(e.stopped)
+		_ = e.ep.Close()
+		for _, p := range e.pillars {
+			p.inbox.Close()
+		}
+		e.exec.inbox.Close()
+		e.coord.inbox.Close()
+		e.wg.Wait()
+		for _, p := range e.pillars {
+			if p.tx != nil {
+				p.tx.Destroy()
+			}
+		}
+		if e.coord.tx != nil {
+			e.coord.tx.Destroy()
+		}
+	})
+}
+
+func (e *Engine) route(from uint32, m message.Message) {
+	switch v := m.(type) {
+	case *message.Request:
+		e.seq.admit(v)
+	case *message.PrePrepare:
+		e.pillarFor(v.Order).inbox.Put(inMsg{from, m})
+	case *message.PBFTPrepare:
+		e.pillarFor(v.Order).inbox.Put(inMsg{from, m})
+	case *message.PBFTCommit:
+		e.pillarFor(v.Order).inbox.Put(inMsg{from, m})
+	case *message.PBFTCheckpoint:
+		e.pillars[e.cfg.CheckpointPillar(v.Order)%uint32(len(e.pillars))].inbox.Put(inMsg{from, m})
+	case *message.PBFTViewChange, *message.PBFTNewView,
+		*message.StateRequest, *message.StateReply:
+		e.coord.inbox.Put(inMsg{from, m})
+	}
+}
+
+func (e *Engine) pillarFor(o timeline.Order) *pillar {
+	return e.pillars[e.cfg.PillarOf(o)%uint32(len(e.pillars))]
+}
+
+func (e *Engine) noteWork() {
+	if e.pendingSince.Load() == 0 {
+		e.pendingSince.CompareAndSwap(0, e.now().UnixNano())
+	}
+}
+
+func (e *Engine) noteProgress(stillPending bool) {
+	if stillPending {
+		e.pendingSince.Store(e.now().UnixNano())
+	} else {
+		e.pendingSince.Store(0)
+	}
+}
+
+type inMsg struct {
+	from uint32
+	msg  message.Message
+}
+
+// sign authenticates digest d for the whole group: an authenticator
+// for PBFTcop, a trusted MAC for HybridPBFT. tx is the calling
+// pillar's TrInX instance (nil for PBFTcop).
+func (e *Engine) sign(tx *trinx.TrInX, d crypto.Digest) (message.Proof, error) {
+	if !e.hybrid {
+		return message.Proof{Auth: crypto.NewAuthenticator(e.ks, d, e.cfg.N)}, nil
+	}
+	cert, err := tx.CreateTrustedMAC(counterM, d)
+	if err != nil {
+		return message.Proof{}, err
+	}
+	return message.Proof{TCert: cert}, nil
+}
+
+// verify checks a proof over digest d claimed by replica "claimed".
+func (e *Engine) verify(tx *trinx.TrInX, p *message.Proof, d crypto.Digest, claimed uint32) bool {
+	if e.hybrid {
+		if !p.HasTCert() || p.TCert.Issuer.Replica() != claimed ||
+			p.TCert.Kind != trinx.Continuing || p.TCert.Value != p.TCert.Prev {
+			return false
+		}
+		return tx.Verify(p.TCert, d) == nil
+	}
+	if p.Auth.Sender != claimed {
+		return false
+	}
+	return crypto.VerifyAuthenticator(e.ks, p.Auth, d)
+}
+
+// --- sequencer (same scheme as core's) --------------------------------------
+
+type sequencer struct {
+	e *Engine
+
+	mu       sync.Mutex
+	queue    []*message.Request
+	next     timeline.Order
+	inFlight map[uint32]int
+}
+
+const maxInFlightPerPillar = 4
+
+func newSequencer(e *Engine) *sequencer {
+	s := &sequencer{e: e, inFlight: make(map[uint32]int)}
+	s.next = s.firstSlot(0, 0)
+	return s
+}
+
+func (s *sequencer) firstSlot(v timeline.View, after timeline.Order) timeline.Order {
+	if !s.e.cfg.RotateLeader && s.e.cfg.LeaderOf(v) != s.e.id {
+		return after + 1
+	}
+	o := after + 1
+	for s.e.cfg.ProposerOf(v, o) != s.e.id {
+		o++
+	}
+	return o
+}
+
+func (s *sequencer) nextSlot(v timeline.View, o timeline.Order) timeline.Order {
+	if !s.e.cfg.RotateLeader && s.e.cfg.LeaderOf(v) != s.e.id {
+		return o + 1
+	}
+	n := o + 1
+	for s.e.cfg.ProposerOf(v, n) != s.e.id {
+		n++
+	}
+	return n
+}
+
+func (s *sequencer) admit(r *message.Request) {
+	if !crypto.VerifyAuthenticator(s.e.ks, r.Auth, r.Digest()) {
+		return
+	}
+	s.e.noteWork()
+	v := s.e.View()
+	if !s.e.cfg.RotateLeader && s.e.cfg.LeaderOf(v) != s.e.id {
+		_ = s.e.ep.Send(s.e.cfg.LeaderOf(v), r)
+		return
+	}
+	s.mu.Lock()
+	s.queue = append(s.queue, r)
+	s.mu.Unlock()
+	s.pump()
+}
+
+func (s *sequencer) pump() {
+	v := s.e.View()
+	if !s.e.cfg.RotateLeader && s.e.cfg.LeaderOf(v) != s.e.id {
+		s.mu.Lock()
+		queued := s.queue
+		s.queue = nil
+		s.mu.Unlock()
+		for _, r := range queued {
+			_ = s.e.ep.Send(s.e.cfg.LeaderOf(v), r)
+		}
+		return
+	}
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		o := s.next
+		u := s.e.cfg.PillarOf(o) % uint32(len(s.e.pillars))
+		if s.inFlight[u] >= maxInFlightPerPillar {
+			s.mu.Unlock()
+			return
+		}
+		n := len(s.queue)
+		if n > s.e.cfg.BatchSize {
+			n = s.e.cfg.BatchSize
+		}
+		batch := make([]*message.Request, n)
+		copy(batch, s.queue[:n])
+		s.queue = append(s.queue[:0], s.queue[n:]...)
+		s.next = s.nextSlot(v, o)
+		s.inFlight[u]++
+		s.mu.Unlock()
+
+		s.e.pillars[u].inbox.Put(evPropose{view: v, order: o, batch: batch})
+	}
+}
+
+func (s *sequencer) credit(u uint32) {
+	s.mu.Lock()
+	if s.inFlight[u] > 0 {
+		s.inFlight[u]--
+	}
+	s.mu.Unlock()
+	s.pump()
+}
+
+func (s *sequencer) proposeNoop(v timeline.View, o timeline.Order) {
+	if s.e.cfg.ProposerOf(v, o) != s.e.id {
+		return
+	}
+	s.mu.Lock()
+	if o < s.next {
+		s.mu.Unlock()
+		return
+	}
+	for s.next <= o {
+		s.next = s.nextSlot(v, s.next)
+	}
+	s.mu.Unlock()
+	u := s.e.cfg.PillarOf(o) % uint32(len(s.e.pillars))
+	s.e.pillars[u].inbox.Put(evPropose{view: v, order: o, batch: nil})
+}
+
+func (s *sequencer) resetForView(v timeline.View, after timeline.Order) {
+	s.mu.Lock()
+	s.next = s.firstSlot(v, after)
+	s.inFlight = make(map[uint32]int)
+	s.mu.Unlock()
+	s.pump()
+}

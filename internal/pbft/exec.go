@@ -1,0 +1,101 @@
+package pbft
+
+import (
+	"sync/atomic"
+
+	"hybster/internal/cop"
+	"hybster/internal/crypto"
+	"hybster/internal/message"
+	"hybster/internal/statemachine"
+	"hybster/internal/timeline"
+)
+
+// Events delivered to the execution mailbox.
+type (
+	evExec struct {
+		order timeline.Order
+		batch []*message.Request
+	}
+	evInstallState struct {
+		ckpt     timeline.Order
+		snapshot []byte
+		rv       []byte
+		done     chan error
+	}
+)
+
+// execLoop is PBFT's execution stage; identical in role to the one in
+// internal/core.
+type execLoop struct {
+	e     *Engine
+	inbox *cop.Mailbox[any]
+	x     *statemachine.Executor
+	last  atomic.Uint64
+}
+
+func newExecLoop(e *Engine, app statemachine.Application) *execLoop {
+	return &execLoop{e: e, inbox: cop.NewMailbox[any](), x: statemachine.NewExecutor(app)}
+}
+
+func (l *execLoop) lastExecuted() timeline.Order { return timeline.Order(l.last.Load()) }
+
+func (l *execLoop) nextNeeded() timeline.Order { return timeline.Order(l.last.Load()) + 1 }
+
+func (l *execLoop) run() {
+	for {
+		ev, ok := l.inbox.Get()
+		if !ok {
+			return
+		}
+		switch v := ev.(type) {
+		case evExec:
+			if l.x.Buffer(v.order, v.batch) {
+				l.drain()
+			}
+		case evInstallState:
+			err := l.x.InstallState(v.ckpt, v.snapshot, v.rv)
+			if err == nil {
+				l.last.Store(uint64(v.ckpt))
+				l.drain()
+			}
+			v.done <- err
+		}
+	}
+}
+
+func (l *execLoop) drain() {
+	progressed := false
+	for {
+		ex := l.x.Step()
+		if ex == nil {
+			break
+		}
+		progressed = true
+		l.last.Store(uint64(ex.Order))
+		l.reply(ex)
+		if l.e.cfg.IsCheckpoint(ex.Order) {
+			l.e.coord.inbox.Put(evCkptCandidate{
+				order:    ex.Order,
+				digest:   l.x.StateDigest(),
+				snapshot: l.x.Snapshot(),
+				rv:       l.x.ReplyVector(),
+			})
+		}
+	}
+	if progressed {
+		l.e.noteProgress(l.x.Pending() > 0)
+	}
+}
+
+func (l *execLoop) reply(ex *statemachine.Executed) {
+	for _, r := range ex.Replies {
+		rep := &message.Reply{Replica: l.e.id, Client: r.Client, Seq: r.Seq, Result: r.Result}
+		d := rep.Digest()
+		rep.MAC = l.e.ks.KeyFor(r.Client).Sum(d[:])
+		_ = l.e.ep.Send(r.Client, rep)
+	}
+}
+
+func combineStateDigest(snapshot, rv []byte) crypto.Digest {
+	return crypto.Combine(crypto.Hash(snapshot), crypto.Hash(rv))
+}

@@ -1,0 +1,228 @@
+package pbft
+
+import (
+	"testing"
+
+	"hybster/internal/apps/counter"
+	"hybster/internal/config"
+	"hybster/internal/crypto"
+	"hybster/internal/enclave"
+	"hybster/internal/message"
+	"hybster/internal/timeline"
+	"hybster/internal/transport"
+)
+
+func newTestEngine(t *testing.T, proto config.Protocol, id uint32) *Engine {
+	t.Helper()
+	cfg := config.Default(proto)
+	net := transport.NewNetwork(transport.LinkProfile{}, 1)
+	t.Cleanup(net.Close)
+	e, err := New(Options{
+		Config:      cfg,
+		ID:          id,
+		Endpoint:    net.Endpoint(id),
+		Application: counter.New(),
+		Platform:    enclave.NewPlatform("test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, p := range e.pillars {
+			if p.tx != nil {
+				p.tx.Destroy()
+			}
+		}
+		if e.coord.tx != nil {
+			e.coord.tx.Destroy()
+		}
+	})
+	return e
+}
+
+func TestSignVerifyBothVariants(t *testing.T) {
+	for _, proto := range []config.Protocol{config.PBFTcop, config.HybridPBFT} {
+		signer := newTestEngine(t, proto, 1)
+		verifier := newTestEngine(t, proto, 2)
+		d := crypto.Hash([]byte("m"))
+		proof, err := signer.sign(signer.pillars[0].tx, d)
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if !verifier.verify(verifier.pillars[0].tx, &proof, d, 1) {
+			t.Fatalf("%v: valid proof rejected", proto)
+		}
+		if verifier.verify(verifier.pillars[0].tx, &proof, crypto.Hash([]byte("other")), 1) {
+			t.Fatalf("%v: wrong digest accepted", proto)
+		}
+		if verifier.verify(verifier.pillars[0].tx, &proof, d, 3) {
+			t.Fatalf("%v: wrong claimant accepted", proto)
+		}
+	}
+}
+
+// buildPreparedProof constructs a valid prepared certificate for one
+// instance using real engines for every replica.
+func buildPreparedProof(t *testing.T, engines []*Engine, v timeline.View, o timeline.Order, payload string) message.PreparedProof {
+	t.Helper()
+	proposer := engines[0].cfg.ProposerOf(v, o)
+	pp := &message.PrePrepare{View: v, Order: o,
+		Requests: []*message.Request{{Client: crypto.ClientIDBase, Seq: 1, Payload: []byte(payload)}}}
+	proof, err := engines[proposer].sign(engines[proposer].pillars[0].tx, pp.Digest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Proof = proof
+
+	out := message.PreparedProof{PrePrepare: pp}
+	bd := pp.BatchDigest()
+	for r := uint32(0); int(r) < len(engines); r++ {
+		if r == proposer {
+			continue
+		}
+		prep := &message.PBFTPrepare{View: v, Order: o, Replica: r, BatchDigest: bd}
+		pf, err := engines[r].sign(engines[r].pillars[0].tx, prep.Digest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep.Proof = pf
+		out.Prepares = append(out.Prepares, prep)
+	}
+	return out
+}
+
+func TestVerifyViewChangePreparedProofs(t *testing.T) {
+	engines := make([]*Engine, 4)
+	for i := range engines {
+		engines[i] = newTestEngine(t, config.PBFTcop, uint32(i))
+	}
+	verifier := engines[3]
+
+	proof := buildPreparedProof(t, engines, 0, 1, "x")
+	vc := &message.PBFTViewChange{Replica: 1, View: 1, Prepared: []message.PreparedProof{proof}}
+	pf, err := engines[1].sign(engines[1].coord.tx, vc.Digest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc.Proof = pf
+	if !verifier.coord.verifyViewChange(vc) {
+		t.Fatal("valid view change rejected")
+	}
+
+	// Too few prepares: 2f = 2 required.
+	short := buildPreparedProof(t, engines, 0, 2, "y")
+	short.Prepares = short.Prepares[:1]
+	vc2 := &message.PBFTViewChange{Replica: 1, View: 1, Prepared: []message.PreparedProof{short}}
+	pf2, err := engines[1].sign(engines[1].coord.tx, vc2.Digest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc2.Proof = pf2
+	if verifier.coord.verifyViewChange(vc2) {
+		t.Fatal("under-quorum prepared proof accepted")
+	}
+
+	// Digest mismatch inside the proof.
+	bad := buildPreparedProof(t, engines, 0, 3, "z")
+	bad.Prepares[0].BatchDigest = crypto.Hash([]byte("tampered"))
+	vc3 := &message.PBFTViewChange{Replica: 1, View: 1, Prepared: []message.PreparedProof{bad}}
+	pf3, err := engines[1].sign(engines[1].coord.tx, vc3.Digest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc3.Proof = pf3
+	if verifier.coord.verifyViewChange(vc3) {
+		t.Fatal("tampered prepared proof accepted")
+	}
+}
+
+func TestPBFTComputeTransfer(t *testing.T) {
+	engines := make([]*Engine, 4)
+	for i := range engines {
+		engines[i] = newTestEngine(t, config.PBFTcop, uint32(i))
+	}
+	oldProof := buildPreparedProof(t, engines, 0, 2, "old")
+	// Same order prepared again in a later view wins.
+	newProof := buildPreparedProof(t, engines, 1, 2, "new")
+	farProof := buildPreparedProof(t, engines, 0, 4, "far")
+
+	vcSet := map[uint32]*message.PBFTViewChange{
+		0: {Replica: 0, View: 2, Prepared: []message.PreparedProof{oldProof}},
+		1: {Replica: 1, View: 2, Prepared: []message.PreparedProof{newProof, farProof}},
+		2: {Replica: 2, View: 2, CkptOrder: 0},
+	}
+	start, pps := computeTransfer(vcSet)
+	if start != 0 || len(pps) != 4 {
+		t.Fatalf("start=%d len=%d", start, len(pps))
+	}
+	if string(pps[1].Requests[0].Payload) != "new" {
+		t.Fatalf("order 2 payload %q", pps[1].Requests[0].Payload)
+	}
+	if pps[0].Requests != nil || pps[2].Requests != nil {
+		t.Fatal("gap orders not no-ops")
+	}
+	if pps[3].Order != 4 {
+		t.Fatalf("orders misaligned: %v", pps[3].Order)
+	}
+}
+
+func TestPSlotLifecycle(t *testing.T) {
+	e := newTestEngine(t, config.PBFTcop, 0)
+	p := e.pillars[0]
+
+	s := p.slot(1, 0)
+	if s == nil {
+		t.Fatal("slot not created")
+	}
+	s.executed = true
+	// A view bump resets protocol state but keeps executed.
+	s2 := p.slot(1, 1)
+	if s2 == s || !s2.executed || s2.prePrepare != nil {
+		t.Fatalf("view reset wrong: %+v", s2)
+	}
+	// Stale view returns nil.
+	if p.slot(1, 0) != nil {
+		t.Fatal("stale view slot returned")
+	}
+	// Out of window.
+	if p.slot(p.high()+1, 1) != nil {
+		t.Fatal("slot above high water mark")
+	}
+	p.advance(10)
+	if p.slot(5, 1) != nil {
+		t.Fatal("slot below low water mark after advance")
+	}
+	if len(p.slots) != 0 {
+		t.Fatal("advance did not garbage collect")
+	}
+}
+
+func TestProgressQuorums(t *testing.T) {
+	e := newTestEngine(t, config.PBFTcop, 3) // backup
+	p := e.pillars[0]
+	s := p.slot(1, 0)
+
+	// 2f prepares without a pre-prepare: not prepared.
+	s.prepares[1] = &message.PBFTPrepare{}
+	s.prepares[2] = &message.PBFTPrepare{}
+	p.progress(s)
+	if s.prepared {
+		t.Fatal("prepared without pre-prepare")
+	}
+	s.prePrepare = &message.PrePrepare{View: 0, Order: 1}
+	s.batchDigest = s.prePrepare.BatchDigest()
+	p.progress(s)
+	if !s.prepared || !s.sentCommit {
+		t.Fatalf("not prepared with pre-prepare + 2f prepares: %+v", s)
+	}
+	// Committed requires 2f+1 commits; own commit was just recorded.
+	if s.committed {
+		t.Fatal("committed too early")
+	}
+	s.commits[0] = true
+	s.commits[1] = true
+	p.progress(s)
+	if !s.committed || !s.executed {
+		t.Fatal("2f+1 commits did not commit/execute")
+	}
+}

@@ -1,0 +1,96 @@
+// Package stats provides the measurement primitives of the benchmark
+// harness: latency recording with percentile extraction and throughput
+// accounting, mirroring what the paper's clients measure (§6, "Clients
+// measure the time it takes to collect a sufficient number of
+// replies ... to calculate the average latency and throughput").
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder collects latency samples from concurrent workers.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record adds one latency sample.
+func (r *Recorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Summary condenses recorded samples.
+type Summary struct {
+	Count int
+	Avg   time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Summarize computes the latency summary; zero-valued for an empty
+// recorder.
+func (r *Recorder) Summarize() Summary {
+	r.mu.Lock()
+	samples := make([]time.Duration, len(r.samples))
+	copy(samples, r.samples)
+	r.mu.Unlock()
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var total time.Duration
+	for _, s := range samples {
+		total += s
+	}
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(samples)-1))
+		return samples[idx]
+	}
+	return Summary{
+		Count: len(samples),
+		Avg:   total / time.Duration(len(samples)),
+		P50:   pct(0.50),
+		P90:   pct(0.90),
+		P99:   pct(0.99),
+		Max:   samples[len(samples)-1],
+	}
+}
+
+// Throughput converts an operation count over a wall-clock window into
+// operations per second.
+func Throughput(ops uint64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}
+
+// FormatOps renders ops/s in the paper's "1,000 ops/s" style.
+func FormatOps(opsPerSec float64) string {
+	switch {
+	case opsPerSec >= 1_000_000:
+		return fmt.Sprintf("%.2fM ops/s", opsPerSec/1e6)
+	case opsPerSec >= 1_000:
+		return fmt.Sprintf("%.1fk ops/s", opsPerSec/1e3)
+	default:
+		return fmt.Sprintf("%.0f ops/s", opsPerSec)
+	}
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	r := NewRecorder()
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := r.Summarize()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Avg != 50500*time.Microsecond {
+		t.Fatalf("Avg = %v", s.Avg)
+	}
+	if s.P50 < 49*time.Millisecond || s.P50 > 51*time.Millisecond {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if s.P99 < 98*time.Millisecond || s.P99 > 100*time.Millisecond {
+		t.Fatalf("P99 = %v", s.P99)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Fatalf("Max = %v", s.Max)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("percentiles out of order: %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := NewRecorder().Summarize(); s.Count != 0 || s.Avg != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 8000 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1000, time.Second); got != 1000 {
+		t.Fatalf("Throughput = %f", got)
+	}
+	if got := Throughput(500, 500*time.Millisecond); got != 1000 {
+		t.Fatalf("Throughput = %f", got)
+	}
+	if got := Throughput(10, 0); got != 0 {
+		t.Fatalf("Throughput(_, 0) = %f", got)
+	}
+}
+
+func TestFormatOps(t *testing.T) {
+	cases := map[float64]string{
+		500:       "500 ops/s",
+		12_345:    "12.3k ops/s",
+		1_040_000: "1.04M ops/s",
+	}
+	for in, want := range cases {
+		if got := FormatOps(in); got != want {
+			t.Errorf("FormatOps(%f) = %q, want %q", in, got, want)
+		}
+	}
+	if !strings.Contains(FormatOps(1e6), "M") {
+		t.Error("1e6 not in millions")
+	}
+}

@@ -1,0 +1,69 @@
+// Package timeline implements the flattened number space of Hybster
+// (§5.2.1 of the paper): a consensus instance is identified by the pair
+// (view v, order number o), flattened into a single 64-bit value [v|o]
+// with the view stored in the most significant bits. Because trusted
+// counters only move forward, flattening guarantees that every message of
+// a higher view is bound to a higher counter value than any message of a
+// lower view, independent of the order numbers involved — the property
+// the view-change protocol builds on.
+package timeline
+
+import "fmt"
+
+// ViewBits is the number of most-significant bits holding the view.
+const ViewBits = 16
+
+// OrderBits is the number of least-significant bits holding the order
+// number.
+const OrderBits = 64 - ViewBits
+
+// MaxView is the largest representable view number.
+const MaxView = View(1<<ViewBits - 1)
+
+// MaxOrder is the largest representable order number.
+const MaxOrder = Order(1<<OrderBits - 1)
+
+// View numbers the configurations the replica group undergoes; the
+// leader of view v is replica v mod n.
+type View uint64
+
+// Order is the sequence number a request batch is agreed on.
+type Order uint64
+
+// Point is a flattened [v|o] value, directly usable as a trusted counter
+// value.
+type Point uint64
+
+// Pack flattens (v, o) into a Point. It panics if either component
+// exceeds its field width; protocol code validates inputs beforehand and
+// a violation indicates a programming error.
+func Pack(v View, o Order) Point {
+	if v > MaxView {
+		panic(fmt.Sprintf("timeline: view %d exceeds %d bits", v, ViewBits))
+	}
+	if o > MaxOrder {
+		panic(fmt.Sprintf("timeline: order %d exceeds %d bits", o, OrderBits))
+	}
+	return Point(uint64(v)<<OrderBits | uint64(o))
+}
+
+// ViewStart returns the first point of view v, [v|0]. A replica entering
+// view v sets its ordering counter to this value.
+func ViewStart(v View) Point { return Pack(v, 0) }
+
+// View extracts the view component of p.
+func (p Point) View() View { return View(uint64(p) >> OrderBits) }
+
+// Order extracts the order-number component of p.
+func (p Point) Order() Order { return Order(uint64(p) & uint64(MaxOrder)) }
+
+// Unpack splits p into its (view, order) components.
+func (p Point) Unpack() (View, Order) { return p.View(), p.Order() }
+
+// Next returns the point directly after p within the same view.
+func (p Point) Next() Point { return p + 1 }
+
+// String formats p as "v|o" for logs and traces.
+func (p Point) String() string {
+	return fmt.Sprintf("%d|%d", p.View(), p.Order())
+}

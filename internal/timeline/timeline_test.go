@@ -1,0 +1,84 @@
+package timeline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundtrip(t *testing.T) {
+	err := quick.Check(func(v uint16, o uint64) bool {
+		view := View(v)
+		order := Order(o & uint64(MaxOrder))
+		p := Pack(view, order)
+		gv, go_ := p.Unpack()
+		return gv == view && go_ == order
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHigherViewAlwaysHigherPoint(t *testing.T) {
+	// The core property: any point of view v+1 exceeds any point of
+	// view v, regardless of the order numbers involved.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		v := View(rng.Intn(int(MaxView)))
+		oLow := Order(rng.Uint64() & uint64(MaxOrder))
+		oHigh := Order(rng.Uint64() & uint64(MaxOrder))
+		if Pack(v+1, oLow) <= Pack(v, oHigh) {
+			t.Fatalf("Pack(%d,%d) <= Pack(%d,%d)", v+1, oLow, v, oHigh)
+		}
+	}
+}
+
+func TestOrderMonotoneWithinView(t *testing.T) {
+	err := quick.Check(func(v uint16, o uint64) bool {
+		order := Order(o & (uint64(MaxOrder) - 1))
+		return Pack(View(v), order+1) == Pack(View(v), order)+1
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewStart(t *testing.T) {
+	for _, v := range []View{0, 1, 7, MaxView} {
+		p := ViewStart(v)
+		if p.View() != v || p.Order() != 0 {
+			t.Fatalf("ViewStart(%d) = %v", v, p)
+		}
+	}
+	if ViewStart(3) <= Pack(2, MaxOrder) {
+		t.Fatal("view start does not dominate previous view")
+	}
+}
+
+func TestNext(t *testing.T) {
+	p := Pack(2, 10)
+	if p.Next() != Pack(2, 11) {
+		t.Fatalf("Next() = %v", p.Next())
+	}
+}
+
+func TestPackPanicsOnOverflow(t *testing.T) {
+	assertPanics(t, func() { Pack(MaxView+1, 0) })
+	assertPanics(t, func() { Pack(0, MaxOrder+1) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestString(t *testing.T) {
+	if got := Pack(3, 42).String(); got != "3|42" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,248 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hybster/internal/message"
+)
+
+// LinkProfile describes the simulated characteristics of every link in
+// an in-process Network. The zero profile is an ideal network: no
+// latency, unlimited bandwidth, no loss.
+type LinkProfile struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Bandwidth is the link capacity in bytes per second; 0 means
+	// unlimited. Transmissions on one link serialize, so large
+	// messages delay subsequent ones (the Fig. 6b effect).
+	Bandwidth int64
+	// LossRate is the probability in [0,1) that a message is dropped.
+	LossRate float64
+}
+
+// Network is the in-process message fabric. Nodes register endpoints by
+// ID; every (source, destination) pair gets a dedicated FIFO link
+// driven by its own goroutine.
+type Network struct {
+	profile LinkProfile
+	seed    int64
+
+	mu         sync.RWMutex
+	nodes      map[uint32]*memEndpoint
+	links      map[[2]uint32]*link
+	partitions map[[2]uint32]bool
+	closed     bool
+}
+
+// NewNetwork creates an in-process network in which every link has the
+// given profile. seed makes loss decisions reproducible.
+func NewNetwork(profile LinkProfile, seed int64) *Network {
+	return &Network{
+		profile:    profile,
+		seed:       seed,
+		nodes:      make(map[uint32]*memEndpoint),
+		links:      make(map[[2]uint32]*link),
+		partitions: make(map[[2]uint32]bool),
+	}
+}
+
+// linkQueueDepth bounds in-flight messages per link; senders block when
+// a link is saturated, providing natural backpressure.
+const linkQueueDepth = 8192
+
+type link struct {
+	ch  chan message.Message
+	src uint32
+	dst uint32
+}
+
+type memEndpoint struct {
+	net *Network
+	id  uint32
+
+	mu      sync.RWMutex
+	handler Handler
+	closed  bool
+}
+
+// Endpoint registers node id on the network and returns its endpoint.
+// Registering an existing ID replaces the previous endpoint (supporting
+// crash-restart tests).
+func (n *Network) Endpoint(id uint32) Endpoint {
+	ep := &memEndpoint{net: n, id: id}
+	n.mu.Lock()
+	n.nodes[id] = ep
+	n.mu.Unlock()
+	return ep
+}
+
+// Partition cuts both directions between nodes a and b. Messages in
+// flight are still delivered; new sends are dropped silently, like on a
+// real partitioned network.
+func (n *Network) Partition(a, b uint32) {
+	n.mu.Lock()
+	n.partitions[[2]uint32{a, b}] = true
+	n.partitions[[2]uint32{b, a}] = true
+	n.mu.Unlock()
+}
+
+// Isolate cuts node a off from every currently registered node.
+func (n *Network) Isolate(a uint32) {
+	n.mu.Lock()
+	for id := range n.nodes {
+		if id != a {
+			n.partitions[[2]uint32{a, id}] = true
+			n.partitions[[2]uint32{id, a}] = true
+		}
+	}
+	n.mu.Unlock()
+}
+
+// Heal removes the partition between a and b.
+func (n *Network) Heal(a, b uint32) {
+	n.mu.Lock()
+	delete(n.partitions, [2]uint32{a, b})
+	delete(n.partitions, [2]uint32{b, a})
+	n.mu.Unlock()
+}
+
+// HealAll removes every partition.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	n.partitions = make(map[[2]uint32]bool)
+	n.mu.Unlock()
+}
+
+// Close shuts the network down; all link goroutines drain and exit.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	links := n.links
+	n.links = make(map[[2]uint32]*link)
+	n.mu.Unlock()
+	for _, l := range links {
+		close(l.ch)
+	}
+}
+
+// getLink returns (creating if necessary) the FIFO link src→dst.
+func (n *Network) getLink(src, dst uint32) (*link, error) {
+	key := [2]uint32{src, dst}
+	n.mu.RLock()
+	l, ok := n.links[key]
+	closed := n.closed
+	n.mu.RUnlock()
+	if ok {
+		return l, nil
+	}
+	if closed {
+		return nil, ErrClosed
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l, ok := n.links[key]; ok {
+		return l, nil
+	}
+	if n.closed {
+		return nil, ErrClosed
+	}
+	l = &link{ch: make(chan message.Message, linkQueueDepth), src: src, dst: dst}
+	n.links[key] = l
+	go n.runLink(l)
+	return l, nil
+}
+
+// runLink drives one link: applies loss, bandwidth, and latency, then
+// delivers to the destination handler in FIFO order.
+func (n *Network) runLink(l *link) {
+	rng := rand.New(rand.NewSource(n.seed ^ int64(l.src)<<32 ^ int64(l.dst)))
+	for m := range l.ch {
+		if n.profile.LossRate > 0 && rng.Float64() < n.profile.LossRate {
+			continue
+		}
+		if n.profile.Bandwidth > 0 {
+			size := EstimateSize(m)
+			tx := time.Duration(float64(size) / float64(n.profile.Bandwidth) * float64(time.Second))
+			time.Sleep(tx)
+		}
+		if n.profile.Latency > 0 {
+			time.Sleep(n.profile.Latency)
+		}
+		n.mu.RLock()
+		dst := n.nodes[l.dst]
+		blocked := n.partitions[[2]uint32{l.src, l.dst}]
+		n.mu.RUnlock()
+		if dst == nil || blocked {
+			continue
+		}
+		dst.deliver(l.src, m)
+	}
+}
+
+func (ep *memEndpoint) deliver(from uint32, m message.Message) {
+	ep.mu.RLock()
+	h := ep.handler
+	closed := ep.closed
+	ep.mu.RUnlock()
+	if h != nil && !closed {
+		h(from, m)
+	}
+}
+
+// ID implements Endpoint.
+func (ep *memEndpoint) ID() uint32 { return ep.id }
+
+// Handle implements Endpoint.
+func (ep *memEndpoint) Handle(h Handler) {
+	ep.mu.Lock()
+	ep.handler = h
+	ep.mu.Unlock()
+}
+
+// Send implements Endpoint.
+func (ep *memEndpoint) Send(to uint32, m message.Message) error {
+	ep.mu.RLock()
+	closed := ep.closed
+	ep.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	n := ep.net
+	n.mu.RLock()
+	_, known := n.nodes[to]
+	blocked := n.partitions[[2]uint32{ep.id, to}]
+	n.mu.RUnlock()
+	if !known {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	if blocked {
+		return nil // silently dropped, like a real partition
+	}
+	l, err := n.getLink(ep.id, to)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		// A concurrent Network.Close can close the link channel while
+		// we block on it; treat the resulting panic as a drop.
+		_ = recover()
+	}()
+	l.ch <- m
+	return nil
+}
+
+// Close implements Endpoint.
+func (ep *memEndpoint) Close() error {
+	ep.mu.Lock()
+	ep.closed = true
+	ep.handler = nil
+	ep.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,284 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"hybster/internal/message"
+)
+
+// maxFrameSize bounds accepted wire frames (64 MiB), guarding against
+// corrupt length prefixes.
+const maxFrameSize = 64 << 20
+
+// tcpConn serializes frame writes; a frame must reach the stream
+// atomically even when several pillar goroutines send concurrently.
+type tcpConn struct {
+	net.Conn
+	mu sync.Mutex
+}
+
+func (c *tcpConn) writeFrame(frame []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.Conn.Write(frame)
+	return err
+}
+
+// TCPEndpoint is a real-network transport: one listener per node,
+// length-prefixed frames, lazily established and automatically
+// redialed outbound connections. Nodes without a configured address
+// (clients) are answered over the connection their traffic arrived on.
+// It serves the multi-process deployment driven by cmd/hybster-replica
+// and cmd/hybster-client.
+type TCPEndpoint struct {
+	id       uint32
+	listener net.Listener
+
+	mu      sync.Mutex
+	peers   map[uint32]string
+	conns   map[uint32]*tcpConn
+	inbound map[net.Conn]*tcpConn
+	// replyPath maps node IDs to the inbound connection their frames
+	// last arrived on, providing a return channel to clients that
+	// have no listener of their own registered here.
+	replyPath map[uint32]*tcpConn
+	handler   Handler
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewTCP creates an endpoint for node id listening on listenAddr.
+// peers maps node IDs to their listen addresses; it may be extended
+// later with AddPeer.
+func NewTCP(id uint32, listenAddr string, peers map[uint32]string) (*TCPEndpoint, error) {
+	l, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	ep := &TCPEndpoint{
+		id:        id,
+		listener:  l,
+		peers:     make(map[uint32]string, len(peers)),
+		conns:     make(map[uint32]*tcpConn),
+		inbound:   make(map[net.Conn]*tcpConn),
+		replyPath: make(map[uint32]*tcpConn),
+	}
+	for pid, addr := range peers {
+		ep.peers[pid] = addr
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Addr returns the actual listen address (useful with ":0").
+func (ep *TCPEndpoint) Addr() string { return ep.listener.Addr().String() }
+
+// AddPeer registers or updates the address of a peer.
+func (ep *TCPEndpoint) AddPeer(id uint32, addr string) {
+	ep.mu.Lock()
+	ep.peers[id] = addr
+	ep.mu.Unlock()
+}
+
+// ID implements Endpoint.
+func (ep *TCPEndpoint) ID() uint32 { return ep.id }
+
+// Handle implements Endpoint.
+func (ep *TCPEndpoint) Handle(h Handler) {
+	ep.mu.Lock()
+	ep.handler = h
+	ep.mu.Unlock()
+}
+
+// Send implements Endpoint. Connections are established on first use
+// and dropped on error; the next Send redials. Destinations without a
+// configured address are reached over their last inbound connection.
+func (ep *TCPEndpoint) Send(to uint32, m message.Message) error {
+	payload := message.Marshal(m)
+	frame := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(4+len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], ep.id)
+	copy(frame[8:], payload)
+
+	conn, dialed, err := ep.conn(to)
+	if err != nil {
+		return err
+	}
+	if err := conn.writeFrame(frame); err != nil {
+		if dialed {
+			ep.dropConn(to, conn)
+		}
+		return fmt.Errorf("transport: send to %d: %w", to, err)
+	}
+	return nil
+}
+
+// conn returns a connection to node "to": an outbound connection when
+// an address is known (dialing if necessary), otherwise the node's
+// inbound reply path.
+func (ep *TCPEndpoint) conn(to uint32) (c *tcpConn, dialed bool, err error) {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	if c, ok := ep.conns[to]; ok {
+		ep.mu.Unlock()
+		return c, true, nil
+	}
+	addr, hasAddr := ep.peers[to]
+	if !hasAddr {
+		if rp, ok := ep.replyPath[to]; ok {
+			ep.mu.Unlock()
+			return rp, false, nil
+		}
+		ep.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	ep.mu.Unlock()
+
+	raw, err := net.DialTimeout("tcp", addr, 3*time.Second)
+	if err != nil {
+		return nil, false, fmt.Errorf("transport: dial %d (%s): %w", to, addr, err)
+	}
+	if tc, ok := raw.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	c = &tcpConn{Conn: raw}
+
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		_ = raw.Close()
+		return nil, false, ErrClosed
+	}
+	if existing, ok := ep.conns[to]; ok {
+		_ = raw.Close() // lost the dial race
+		return existing, true, nil
+	}
+	ep.conns[to] = c
+	ep.wg.Add(1)
+	go ep.readLoop(c, false)
+	return c, true, nil
+}
+
+func (ep *TCPEndpoint) dropConn(to uint32, c *tcpConn) {
+	ep.mu.Lock()
+	if ep.conns[to] == c {
+		delete(ep.conns, to)
+	}
+	ep.mu.Unlock()
+	_ = c.Close()
+}
+
+func (ep *TCPEndpoint) acceptLoop() {
+	defer ep.wg.Done()
+	for {
+		raw, err := ep.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := &tcpConn{Conn: raw}
+		ep.mu.Lock()
+		if ep.closed {
+			ep.mu.Unlock()
+			_ = raw.Close()
+			return
+		}
+		ep.inbound[raw] = c
+		ep.mu.Unlock()
+		ep.wg.Add(1)
+		go ep.readLoop(c, true)
+	}
+}
+
+// readLoop consumes frames from one connection. Inbound connections
+// additionally register as the reply path of the sending node.
+func (ep *TCPEndpoint) readLoop(c *tcpConn, isInbound bool) {
+	defer ep.wg.Done()
+	defer func() {
+		ep.mu.Lock()
+		delete(ep.inbound, c.Conn)
+		for id, rp := range ep.replyPath {
+			if rp == c {
+				delete(ep.replyPath, id)
+			}
+		}
+		for id, oc := range ep.conns {
+			if oc == c {
+				delete(ep.conns, id)
+			}
+		}
+		ep.mu.Unlock()
+		_ = c.Close()
+	}()
+	var lenBuf [4]byte
+	registered := false
+	for {
+		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n < 4 || n > maxFrameSize {
+			return // corrupt stream
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(c, body); err != nil {
+			return
+		}
+		from := binary.BigEndian.Uint32(body[0:4])
+		if isInbound && !registered {
+			ep.mu.Lock()
+			ep.replyPath[from] = c
+			ep.mu.Unlock()
+			registered = true
+		}
+		m, err := message.Unmarshal(body[4:])
+		if err != nil {
+			continue // drop malformed message, keep the stream
+		}
+		ep.mu.Lock()
+		h := ep.handler
+		closed := ep.closed
+		ep.mu.Unlock()
+		if closed {
+			return
+		}
+		if h != nil {
+			h(from, m)
+		}
+	}
+}
+
+// Close implements Endpoint.
+func (ep *TCPEndpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	all := make([]*tcpConn, 0, len(ep.conns)+len(ep.inbound))
+	for _, c := range ep.conns {
+		all = append(all, c)
+	}
+	for _, c := range ep.inbound {
+		all = append(all, c)
+	}
+	ep.conns = make(map[uint32]*tcpConn)
+	ep.inbound = make(map[net.Conn]*tcpConn)
+	ep.mu.Unlock()
+
+	err := ep.listener.Close()
+	for _, c := range all {
+		_ = c.Close()
+	}
+	ep.wg.Wait()
+	return err
+}

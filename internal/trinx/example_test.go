@@ -1,0 +1,39 @@
+package trinx_test
+
+import (
+	"fmt"
+
+	"hybster/internal/crypto"
+	"hybster/internal/enclave"
+	"hybster/internal/timeline"
+	"hybster/internal/trinx"
+)
+
+// Example shows the §5.2.1 usage pattern: a leader certifies a PREPARE
+// for consensus instance (view 0, order 50) with an independent
+// counter certificate, a follower verifies it, and a second
+// certificate for the same instance is impossible.
+func Example() {
+	key := crypto.NewKeyFromSeed("example-group")
+	leader := trinx.New(enclave.NewPlatform("leader"), trinx.MakeInstanceID(0, 0), 1, key, enclave.CostModel{})
+	defer leader.Destroy()
+	follower := trinx.New(enclave.NewPlatform("follower"), trinx.MakeInstanceID(1, 0), 1, key, enclave.CostModel{})
+	defer follower.Destroy()
+
+	msg := crypto.Hash([]byte("PREPARE for (0,50)"))
+	instance := uint64(timeline.Pack(0, 50))
+
+	cert, err := leader.CreateIndependent(0, instance, msg)
+	fmt.Println("first certificate:", err == nil)
+
+	err = follower.Verify(cert, msg)
+	fmt.Println("follower accepts:", err == nil)
+
+	_, err = leader.CreateIndependent(0, instance, crypto.Hash([]byte("conflicting PREPARE")))
+	fmt.Println("equivocation possible:", err == nil)
+
+	// Output:
+	// first certificate: true
+	// follower accepts: true
+	// equivocation possible: false
+}

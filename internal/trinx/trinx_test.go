@@ -1,0 +1,406 @@
+package trinx
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"hybster/internal/crypto"
+	"hybster/internal/enclave"
+)
+
+var testKey = crypto.NewKeyFromSeed("group")
+
+func newTest(t *testing.T, id InstanceID, counters int) *TrInX {
+	t.Helper()
+	tx := New(enclave.NewPlatform("test"), id, counters, testKey, enclave.CostModel{})
+	t.Cleanup(tx.Destroy)
+	return tx
+}
+
+func TestInstanceID(t *testing.T) {
+	id := MakeInstanceID(3, 7)
+	if id.Replica() != 3 || id.Pillar() != 7 {
+		t.Fatalf("roundtrip failed: %v", id)
+	}
+	if got := id.String(); got != "3(7)" {
+		t.Fatalf("String() = %q", got)
+	}
+	err := quick.Check(func(r uint32, p uint16) bool {
+		id := MakeInstanceID(r, uint32(p))
+		return id.Replica() == r && id.Pillar() == uint32(p)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndependentMonotone(t *testing.T) {
+	tx := newTest(t, MakeInstanceID(0, 0), 1)
+	d := crypto.Hash([]byte("m"))
+
+	if _, err := tx.CreateIndependent(0, 5, d); err != nil {
+		t.Fatal(err)
+	}
+	// Equal value must be refused: uniqueness per counter value.
+	if _, err := tx.CreateIndependent(0, 5, d); !errors.Is(err, ErrNotIncreasing) {
+		t.Fatalf("err = %v, want ErrNotIncreasing", err)
+	}
+	if _, err := tx.CreateIndependent(0, 4, d); !errors.Is(err, ErrNotIncreasing) {
+		t.Fatalf("err = %v, want ErrNotIncreasing", err)
+	}
+	if _, err := tx.CreateIndependent(0, 6, d); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tx.Counter(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 6 {
+		t.Fatalf("counter = %d, want 6", v)
+	}
+}
+
+func TestContinuingRecordsPrev(t *testing.T) {
+	tx := newTest(t, MakeInstanceID(1, 0), 1)
+	d := crypto.Hash([]byte("m"))
+
+	c1, err := tx.CreateContinuing(0, 10, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Prev != 0 || c1.Value != 10 {
+		t.Fatalf("cert = %+v", c1)
+	}
+	c2, err := tx.CreateContinuing(0, 10, d) // tv' == tv allowed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Prev != 10 || c2.Value != 10 {
+		t.Fatalf("cert = %+v", c2)
+	}
+	if _, err := tx.CreateContinuing(0, 9, d); !errors.Is(err, ErrCounterRegression) {
+		t.Fatalf("err = %v, want ErrCounterRegression", err)
+	}
+}
+
+func TestVerifyAcceptsGenuineRejectsForged(t *testing.T) {
+	issuer := newTest(t, MakeInstanceID(0, 0), 1)
+	verifier := newTest(t, MakeInstanceID(1, 0), 1)
+	d := crypto.Hash([]byte("msg"))
+
+	cert, err := issuer.CreateIndependent(0, 42, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifier.Verify(cert, d); err != nil {
+		t.Fatalf("genuine certificate rejected: %v", err)
+	}
+
+	// Any field mutation must invalidate the certificate.
+	mutations := map[string]func(Certificate) Certificate{
+		"value":   func(c Certificate) Certificate { c.Value++; return c },
+		"counter": func(c Certificate) Certificate { c.Counter++; return c },
+		"issuer":  func(c Certificate) Certificate { c.Issuer++; return c },
+		"kind":    func(c Certificate) Certificate { c.Kind = Continuing; return c },
+		"mac":     func(c Certificate) Certificate { c.MAC[0] ^= 1; return c },
+	}
+	for name, mutate := range mutations {
+		if err := verifier.Verify(mutate(cert), d); !errors.Is(err, ErrBadCertificate) {
+			t.Errorf("mutation %q: err = %v, want ErrBadCertificate", name, err)
+		}
+	}
+	if err := verifier.Verify(cert, crypto.Hash([]byte("other"))); !errors.Is(err, ErrBadCertificate) {
+		t.Errorf("wrong message accepted: %v", err)
+	}
+}
+
+func TestVerifyRejectsForeignGroup(t *testing.T) {
+	issuer := New(enclave.NewPlatform("a"), MakeInstanceID(0, 0), 1, crypto.NewKeyFromSeed("g1"), enclave.CostModel{})
+	defer issuer.Destroy()
+	verifier := New(enclave.NewPlatform("b"), MakeInstanceID(1, 0), 1, crypto.NewKeyFromSeed("g2"), enclave.CostModel{})
+	defer verifier.Destroy()
+
+	d := crypto.Hash([]byte("msg"))
+	cert, err := issuer.CreateIndependent(0, 1, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifier.Verify(cert, d); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("cross-group certificate accepted: %v", err)
+	}
+}
+
+func TestEquivocationImpossibleWithIndependent(t *testing.T) {
+	// The heart of Hybster's ordering safety: once a PREPARE for
+	// counter value v exists, no second message can obtain a valid
+	// certificate for v.
+	tx := newTest(t, MakeInstanceID(0, 0), 1)
+	dA := crypto.Hash([]byte("request A"))
+	dB := crypto.Hash([]byte("request B"))
+
+	if _, err := tx.CreateIndependent(0, 100, dA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.CreateIndependent(0, 100, dB); err == nil {
+		t.Fatal("second certificate for the same counter value issued — equivocation possible")
+	}
+}
+
+func TestTrustedMACDoesNotAdvanceCounter(t *testing.T) {
+	tx := newTest(t, MakeInstanceID(0, 0), 2)
+	d := crypto.Hash([]byte("checkpoint"))
+	if _, err := tx.CreateContinuing(1, 7, d); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := tx.CreateTrustedMAC(1, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := tx.CreateTrustedMAC(1, crypto.Hash([]byte("checkpoint2")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Value != 7 || m1.Prev != 7 || m2.Value != 7 {
+		t.Fatalf("trusted MAC moved counter: %+v %+v", m1, m2)
+	}
+	// Both are valid simultaneously — trusted MACs are signatures,
+	// not uniqueness proofs.
+	verifier := newTest(t, MakeInstanceID(1, 0), 1)
+	if err := verifier.Verify(m1, d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountersAreIndependent(t *testing.T) {
+	tx := newTest(t, MakeInstanceID(0, 0), 3)
+	d := crypto.Hash([]byte("m"))
+	if _, err := tx.CreateIndependent(0, 50, d); err != nil {
+		t.Fatal(err)
+	}
+	// Counter 1 is untouched and starts from 0.
+	if _, err := tx.CreateIndependent(1, 1, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.CreateIndependent(2, 50, d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoSuchCounter(t *testing.T) {
+	tx := newTest(t, MakeInstanceID(0, 0), 1)
+	d := crypto.Hash([]byte("m"))
+	if _, err := tx.CreateIndependent(5, 1, d); !errors.Is(err, ErrNoSuchCounter) {
+		t.Fatalf("err = %v, want ErrNoSuchCounter", err)
+	}
+	if _, err := tx.CreateContinuing(5, 1, d); !errors.Is(err, ErrNoSuchCounter) {
+		t.Fatalf("err = %v, want ErrNoSuchCounter", err)
+	}
+	if _, err := tx.CreateTrustedMAC(5, d); !errors.Is(err, ErrNoSuchCounter) {
+		t.Fatalf("err = %v, want ErrNoSuchCounter", err)
+	}
+	if _, err := tx.Counter(5); !errors.Is(err, ErrNoSuchCounter) {
+		t.Fatalf("err = %v, want ErrNoSuchCounter", err)
+	}
+}
+
+func TestMultiCertificateAtomicity(t *testing.T) {
+	tx := newTest(t, MakeInstanceID(0, 0), 3)
+	d := crypto.Hash([]byte("m"))
+	if _, err := tx.CreateIndependent(1, 10, d); err != nil {
+		t.Fatal(err)
+	}
+	// Second entry regresses counter 1 → whole certificate refused,
+	// counter 0 must not move.
+	_, err := tx.CreateMulti(Independent, []CounterValue{
+		{Counter: 0, Value: 5},
+		{Counter: 1, Value: 10},
+	}, d)
+	if !errors.Is(err, ErrNotIncreasing) {
+		t.Fatalf("err = %v, want ErrNotIncreasing", err)
+	}
+	v, _ := tx.Counter(0)
+	if v != 0 {
+		t.Fatalf("counter 0 moved to %d despite failed multi-cert", v)
+	}
+
+	cert, err := tx.CreateMulti(Independent, []CounterValue{
+		{Counter: 0, Value: 5},
+		{Counter: 1, Value: 11},
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier := newTest(t, MakeInstanceID(1, 0), 1)
+	if err := verifier.VerifyMulti(cert, d); err != nil {
+		t.Fatal(err)
+	}
+	cert.Entries[0].Value++
+	if err := verifier.VerifyMulti(cert, d); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("tampered multi-cert accepted: %v", err)
+	}
+}
+
+func TestMultiContinuingRecordsPrev(t *testing.T) {
+	tx := newTest(t, MakeInstanceID(0, 0), 2)
+	d := crypto.Hash([]byte("m"))
+	if _, err := tx.CreateContinuing(0, 3, d); err != nil {
+		t.Fatal(err)
+	}
+	cert, err := tx.CreateMulti(Continuing, []CounterValue{
+		{Counter: 0, Value: 3},
+		{Counter: 1, Value: 9},
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Entries[0].Prev != 3 || cert.Entries[1].Prev != 0 {
+		t.Fatalf("prev values wrong: %+v", cert.Entries)
+	}
+}
+
+func TestConcurrentIndependentNoDuplicates(t *testing.T) {
+	tx := newTest(t, MakeInstanceID(0, 0), 1)
+	d := crypto.Hash([]byte("m"))
+	const workers, attempts = 8, 200
+
+	var mu sync.Mutex
+	issued := make(map[uint64]int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := uint64(1); v <= attempts; v++ {
+				if cert, err := tx.CreateIndependent(0, v, d); err == nil {
+					mu.Lock()
+					issued[cert.Value]++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for v, n := range issued {
+		if n > 1 {
+			t.Fatalf("value %d certified %d times", v, n)
+		}
+	}
+}
+
+func TestMultiHostSharedEnclave(t *testing.T) {
+	p := enclave.NewPlatform("test")
+	host := NewMultiHost(p, testKey, enclave.CostModel{})
+	defer host.Destroy()
+
+	a, err := host.Instance(MakeInstanceID(0, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := host.Instance(MakeInstanceID(0, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EnclaveCount() != 1 {
+		t.Fatalf("EnclaveCount = %d, want 1 (shared)", p.EnclaveCount())
+	}
+
+	d := crypto.Hash([]byte("m"))
+	certA, err := a.CreateIndependent(0, 5, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counters are per instance: b can still use value 5.
+	certB, err := b.CreateIndependent(0, 5, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if certA.Issuer == certB.Issuer {
+		t.Fatal("instances share an issuer ID")
+	}
+
+	// Certificates from the shared host verify at dedicated instances.
+	dedicated := newTest(t, MakeInstanceID(9, 0), 1)
+	if err := dedicated.Verify(certA, d); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-registering with a different counter count fails.
+	if _, err := host.Instance(MakeInstanceID(0, 0), 2); err == nil {
+		t.Fatal("conflicting re-registration accepted")
+	}
+	// Idempotent re-registration succeeds and shares state.
+	a2, err := host.Instance(MakeInstanceID(0, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a2.CreateIndependent(0, 5, d); err == nil {
+		t.Fatal("shared state not visible through second handle")
+	}
+}
+
+func TestBridgeHandleSharesCounters(t *testing.T) {
+	tx := newTest(t, MakeInstanceID(0, 0), 1)
+	bridged := tx.WithBridge()
+	d := crypto.Hash([]byte("m"))
+	if _, err := tx.CreateIndependent(0, 1, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bridged.CreateIndependent(0, 1, d); err == nil {
+		t.Fatal("bridge handle did not observe counter state")
+	}
+	if _, err := bridged.CreateIndependent(0, 2, d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertifierProfiles(t *testing.T) {
+	msg := make([]byte, 32)
+	profiles := []Certifier{
+		NewOpenSSLProfile(testKey),
+		NewJavaProfile(testKey),
+		NewTCryptoProfile(testKey),
+		NewCASHProfile(testKey),
+		NewCertifier(newTest(t, MakeInstanceID(0, 0), 1), "TrInX"),
+	}
+	for _, p := range profiles {
+		mac, err := p.Certify(msg)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if mac.IsZero() {
+			t.Fatalf("%s: zero MAC", p.Name())
+		}
+		if p.Name() == "" {
+			t.Fatal("empty profile name")
+		}
+	}
+}
+
+func TestCertifierMonotone(t *testing.T) {
+	tx := newTest(t, MakeInstanceID(0, 0), 1)
+	c := NewCertifier(tx, "TrInX")
+	msg := make([]byte, 32)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := c.Certify(msg); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, err := tx.Counter(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 400 {
+		t.Fatalf("counter = %d, want 400", v)
+	}
+}

@@ -1,0 +1,142 @@
+package usig
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"hybster/internal/crypto"
+	"hybster/internal/enclave"
+)
+
+var testKey = crypto.NewKeyFromSeed("group")
+
+func newTest(t *testing.T, id uint32) *USIG {
+	t.Helper()
+	u := New(enclave.NewPlatform("test"), id, testKey, enclave.CostModel{})
+	t.Cleanup(u.Destroy)
+	return u
+}
+
+func TestCreateUIAssignsConsecutiveCounters(t *testing.T) {
+	u := newTest(t, 0)
+	d := crypto.Hash([]byte("m"))
+	for want := uint64(1); want <= 10; want++ {
+		ui, err := u.CreateUI(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ui.Counter != want {
+			t.Fatalf("counter = %d, want %d", ui.Counter, want)
+		}
+		if ui.Issuer != 0 {
+			t.Fatalf("issuer = %d", ui.Issuer)
+		}
+	}
+	c, err := u.Counter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 10 {
+		t.Fatalf("Counter() = %d", c)
+	}
+}
+
+func TestVerifyUI(t *testing.T) {
+	issuer := newTest(t, 0)
+	verifier := newTest(t, 1)
+	d := crypto.Hash([]byte("m"))
+
+	ui, err := issuer.CreateUI(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifier.VerifyUI(ui, d); err != nil {
+		t.Fatalf("genuine UI rejected: %v", err)
+	}
+
+	bad := ui
+	bad.Counter++
+	if err := verifier.VerifyUI(bad, d); !errors.Is(err, ErrBadUI) {
+		t.Fatalf("tampered counter accepted: %v", err)
+	}
+	bad = ui
+	bad.Issuer = 2
+	if err := verifier.VerifyUI(bad, d); !errors.Is(err, ErrBadUI) {
+		t.Fatalf("tampered issuer accepted: %v", err)
+	}
+	if err := verifier.VerifyUI(ui, crypto.Hash([]byte("other"))); !errors.Is(err, ErrBadUI) {
+		t.Fatalf("wrong message accepted: %v", err)
+	}
+}
+
+func TestUIUniquePerMessage(t *testing.T) {
+	// Two different messages can never share a counter value — the
+	// equivocation-detection property MinBFT builds on.
+	u := newTest(t, 0)
+	a, err := u.CreateUI(crypto.Hash([]byte("A")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := u.CreateUI(crypto.Hash([]byte("B")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counter == b.Counter {
+		t.Fatal("two messages share a counter value")
+	}
+}
+
+func TestWrongGroupKeyRejected(t *testing.T) {
+	issuer := New(enclave.NewPlatform("a"), 0, crypto.NewKeyFromSeed("g1"), enclave.CostModel{})
+	defer issuer.Destroy()
+	verifier := New(enclave.NewPlatform("b"), 1, crypto.NewKeyFromSeed("g2"), enclave.CostModel{})
+	defer verifier.Destroy()
+
+	d := crypto.Hash([]byte("m"))
+	ui, err := issuer.CreateUI(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifier.VerifyUI(ui, d); !errors.Is(err, ErrBadUI) {
+		t.Fatalf("cross-group UI accepted: %v", err)
+	}
+}
+
+func TestConcurrentCreateUINoGapsNoDuplicates(t *testing.T) {
+	u := newTest(t, 0)
+	d := crypto.Hash([]byte("m"))
+	const workers, per = 8, 250
+
+	var mu sync.Mutex
+	seen := make(map[uint64]bool)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ui, err := u.CreateUI(d)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if seen[ui.Counter] {
+					t.Errorf("duplicate counter %d", ui.Counter)
+				}
+				seen[ui.Counter] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*per {
+		t.Fatalf("issued %d unique counters, want %d", len(seen), workers*per)
+	}
+	for v := uint64(1); v <= workers*per; v++ {
+		if !seen[v] {
+			t.Fatalf("gap at counter %d", v)
+		}
+	}
+}

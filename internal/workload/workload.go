@@ -1,0 +1,98 @@
+// Package workload generates the client workloads of the evaluation:
+// fixed-size opaque payloads for the microbenchmarks (§6.2, §6.3) and
+// the read/write operation mix against the coordination service
+// (§6.4).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hybster/internal/apps/coordination"
+)
+
+// Op is one client operation: the request payload plus its read-only
+// classification.
+type Op struct {
+	Payload  []byte
+	ReadOnly bool
+}
+
+// Generator produces the operation stream of one client.
+type Generator interface {
+	// Next returns the client's next operation.
+	Next() Op
+}
+
+// Fixed issues identical opaque write payloads of the given size — the
+// microbenchmark workload ("empty results without any calculation").
+type Fixed struct {
+	payload []byte
+}
+
+// NewFixed creates a fixed-payload generator; size 0 yields empty
+// requests.
+func NewFixed(size int) *Fixed {
+	return &Fixed{payload: make([]byte, size)}
+}
+
+// Next implements Generator.
+func (f *Fixed) Next() Op { return Op{Payload: f.payload} }
+
+// Coordination issues the §6.4 workload: clients store and retrieve
+// znodes with dataSize bytes of data, with the configured fraction of
+// reads. Each client works on its own set of keys so creates do not
+// collide.
+type Coordination struct {
+	rng       *rand.Rand
+	readRatio float64
+	data      []byte
+	prefix    string
+	keys      int
+	created   int
+	seq       int
+}
+
+// NewCoordination creates the coordination workload for one client.
+// readRatio is the fraction of read (GetData) operations in [0,1].
+func NewCoordination(clientID uint32, readRatio float64, dataSize, keys int) *Coordination {
+	if keys <= 0 {
+		keys = 16
+	}
+	return &Coordination{
+		rng:       rand.New(rand.NewSource(int64(clientID))),
+		readRatio: readRatio,
+		data:      make([]byte, dataSize),
+		prefix:    fmt.Sprintf("/c%d", clientID),
+		keys:      keys,
+	}
+}
+
+// Setup returns the operations a client must run once before the
+// measured phase: creating its key space.
+func (c *Coordination) Setup() []Op {
+	ops := []Op{{Payload: coordination.EncodeRequest(coordination.OpCreate, c.prefix, nil, 0)}}
+	for k := 0; k < c.keys; k++ {
+		ops = append(ops, Op{Payload: coordination.EncodeRequest(
+			coordination.OpCreate, c.key(k), c.data, 0)})
+	}
+	return ops
+}
+
+func (c *Coordination) key(k int) string {
+	return fmt.Sprintf("%s/k%03d", c.prefix, k)
+}
+
+// Next implements Generator: a GetData with probability readRatio,
+// otherwise a SetData, both on a random key of the client's set.
+func (c *Coordination) Next() Op {
+	k := c.key(c.rng.Intn(c.keys))
+	if c.rng.Float64() < c.readRatio {
+		return Op{
+			Payload:  coordination.EncodeRequest(coordination.OpGetData, k, nil, 0),
+			ReadOnly: true,
+		}
+	}
+	c.seq++
+	return Op{Payload: coordination.EncodeRequest(coordination.OpSetData, k, c.data, 0)}
+}
