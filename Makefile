@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test test-race vet chaos-smoke bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short seeded chaos run: all four protocols under link faults,
+# a partition window, and a crash-restart, with the race detector on.
+chaos-smoke:
+	$(GO) test -race -short -count=1 -run 'TestChaos' ./internal/chaos/...
+
+bench:
+	$(GO) test -bench=. -benchmem

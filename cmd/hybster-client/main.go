@@ -62,8 +62,13 @@ func main() {
 	start := time.Now()
 	deadline := start.Add(*duration)
 	var wg sync.WaitGroup
+	// Each process takes a distinct client-ID block: request sequence
+	// numbers restart at 1 in a new process, and replicas deduplicate
+	// per client ID, so reusing IDs across runs would make every
+	// request look stale.
+	idBase := crypto.ClientIDBase + uint32(time.Now().UnixNano()&0x3FFF)<<8
 	for i := 0; i < *clients; i++ {
-		cid := crypto.ClientIDBase + uint32(i)
+		cid := idBase + uint32(i)
 		ep, err := transport.NewTCP(cid, "127.0.0.1:0", nil)
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"hybster/internal/config"
+	"hybster/internal/transport"
+)
+
+// chaosHorizon returns the fault-active window; -short shrinks it for
+// smoke runs.
+func chaosHorizon() time.Duration {
+	if testing.Short() {
+		return 800 * time.Millisecond
+	}
+	return 2 * time.Second
+}
+
+// runChaos executes one seeded schedule and enforces the common
+// expectations: no safety violation, post-heal liveness, and that the
+// schedule actually exercised the interesting machinery (faults
+// injected, a replica crash-restarted).
+func runChaos(t *testing.T, p config.Protocol, seed int64) *Result {
+	t.Helper()
+	res, err := Run(Options{
+		Protocol: p,
+		Seed:     seed,
+		Horizon:  chaosHorizon(),
+		Clients:  3,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		if res != nil {
+			t.Fatalf("chaos run failed (%v): %v", res.Plan, err)
+		}
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	if res.PostHealCommits < 5 {
+		t.Fatalf("only %d post-heal commits", res.PostHealCommits)
+	}
+	if len(res.Restarted) == 0 {
+		t.Fatal("schedule crash-restarted no replica")
+	}
+	if res.Faults.Dropped == 0 || res.Faults.Held == 0 {
+		t.Fatalf("schedule injected too few faults: %+v", res.Faults)
+	}
+	if res.HistoryPoints == 0 {
+		t.Fatal("safety check compared zero history points")
+	}
+	t.Logf("chaos %s: order=%d chaos-commits=%d heal-commits=%d faults=%+v points=%d",
+		p, res.MaxOrder, res.ChaosCommits, res.PostHealCommits, res.Faults, res.HistoryPoints)
+	return res
+}
+
+// Each protocol runs one seeded schedule combining link noise (loss,
+// duplication, reorder, delay, corruption), a two-node partition
+// window, and a replica crash-restart.
+
+func TestChaosHybster(t *testing.T)  { runChaos(t, config.HybsterS, 1) }
+func TestChaosHybsterX(t *testing.T) { runChaos(t, config.HybsterX, 2) }
+func TestChaosPBFT(t *testing.T)     { runChaos(t, config.PBFTcop, 3) }
+func TestChaosMinBFT(t *testing.T)   { runChaos(t, config.MinBFT, 4) }
+
+func TestChaosGenerateDeterministic(t *testing.T) {
+	a := Generate(42, 4, 2*time.Second)
+	b := Generate(42, 4, 2*time.Second)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%v\n%v", a, b)
+	}
+	c := Generate(43, 4, 2*time.Second)
+	if reflect.DeepEqual(a.Links, c.Links) && reflect.DeepEqual(a.Crashes, c.Crashes) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+// TestChaosInjectorDeterministicReplay pins the determinism contract:
+// replaying a schedule with the same seed yields the identical
+// per-link fault sequence, message by message.
+func TestChaosInjectorDeterministicReplay(t *testing.T) {
+	plan := Generate(7, 4, 2*time.Second)
+	first := decideAll(plan.NewInjector())
+	second := decideAll(plan.NewInjector())
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("same seed produced different fault sequences")
+	}
+
+	other := Generate(8, 4, 2*time.Second)
+	if reflect.DeepEqual(first, decideAll(other.NewInjector())) {
+		t.Fatal("different seed produced the identical fault sequence")
+	}
+
+	// Interleaving links differently must not change per-link decisions:
+	// decision n on a link depends only on (seed, from, to, n).
+	inj := plan.NewInjector()
+	var interleaved []transport.Fault
+	for seq := uint64(0); seq < 64; seq++ {
+		for from := uint32(0); from < 4; from++ {
+			for to := uint32(0); to < 4; to++ {
+				if from == to {
+					continue
+				}
+				interleaved = append(interleaved, inj.Decide(from, to, seq))
+			}
+		}
+	}
+	var byLink []transport.Fault
+	for seq := uint64(0); seq < 64; seq++ {
+		for from := uint32(0); from < 4; from++ {
+			for to := uint32(0); to < 4; to++ {
+				if from == to {
+					continue
+				}
+				byLink = append(byLink, first[linkIndex(from, to)][seq])
+			}
+		}
+	}
+	if !reflect.DeepEqual(interleaved, byLink) {
+		t.Fatal("fault decisions depend on cross-link interleaving")
+	}
+}
+
+// decideAll drives 64 messages over every replica link, one link at a
+// time, and returns the decision sequences.
+func decideAll(inj transport.Injector) map[int][]transport.Fault {
+	out := make(map[int][]transport.Fault)
+	for from := uint32(0); from < 4; from++ {
+		for to := uint32(0); to < 4; to++ {
+			if from == to {
+				continue
+			}
+			seqs := make([]transport.Fault, 64)
+			for seq := uint64(0); seq < 64; seq++ {
+				seqs[seq] = inj.Decide(from, to, seq)
+			}
+			out[linkIndex(from, to)] = seqs
+		}
+	}
+	return out
+}
+
+func linkIndex(from, to uint32) int { return int(from)*4 + int(to) }
+
+// TestChaosClientLinksUntouched pins that client traffic (IDs at or
+// above the replica count) bypasses fault injection entirely.
+func TestChaosClientLinksUntouched(t *testing.T) {
+	plan := Generate(5, 4, time.Second)
+	inj := plan.NewInjector()
+	for seq := uint64(0); seq < 32; seq++ {
+		if f := inj.Decide(4, 0, seq); f != (transport.Fault{}) {
+			t.Fatalf("client link faulted: %+v", f)
+		}
+		if f := inj.Decide(0, 99, seq); f != (transport.Fault{}) {
+			t.Fatalf("reply link faulted: %+v", f)
+		}
+	}
+}

@@ -38,8 +38,11 @@ type Cluster struct {
 	Cfg config.Config
 	Net *transport.Network
 
-	replicas []Replica
-	crashed  []bool
+	factory   Factory
+	wrap      func(id uint32, ep transport.Endpoint) transport.Endpoint
+	platforms []*enclave.Platform
+	replicas  []Replica
+	crashed   []bool
 
 	nextClient uint32
 }
@@ -53,6 +56,10 @@ type Options struct {
 	Seed int64
 	// EnclaveCost is the SGX cost model for all replicas.
 	EnclaveCost enclave.CostModel
+	// WrapEndpoint, when set, decorates every replica endpoint before
+	// it is handed to the factory (fault injection hooks in here).
+	// Client endpoints are not wrapped.
+	WrapEndpoint func(id uint32, ep transport.Endpoint) transport.Endpoint
 }
 
 // New boots a cluster with replicas produced by factory.
@@ -63,13 +70,17 @@ func New(opts Options, factory Factory) (*Cluster, error) {
 	c := &Cluster{
 		Cfg:        opts.Config,
 		Net:        transport.NewNetwork(opts.Profile, opts.Seed),
+		factory:    factory,
+		wrap:       opts.WrapEndpoint,
+		platforms:  make([]*enclave.Platform, opts.Config.N),
 		replicas:   make([]Replica, opts.Config.N),
 		crashed:    make([]bool, opts.Config.N),
 		nextClient: crypto.ClientIDBase,
 	}
 	for id := uint32(0); int(id) < opts.Config.N; id++ {
-		ep := c.Net.Endpoint(id)
+		ep := c.endpoint(id)
 		platform := enclave.NewPlatform(fmt.Sprintf("replica-%d", id))
+		c.platforms[id] = platform
 		r, err := factory(opts.Config, id, ep, platform)
 		if err != nil {
 			c.Stop()
@@ -81,6 +92,16 @@ func New(opts Options, factory Factory) (*Cluster, error) {
 		r.Start()
 	}
 	return c, nil
+}
+
+// endpoint registers replica id on the network, applying the optional
+// wrapper.
+func (c *Cluster) endpoint(id uint32) transport.Endpoint {
+	ep := c.Net.Endpoint(id)
+	if c.wrap != nil {
+		ep = c.wrap(id, ep)
+	}
+	return ep
 }
 
 // NewHybster boots a Hybster cluster (HybsterS or HybsterX depending
@@ -148,14 +169,38 @@ func (c *Cluster) NewClient(timeout time.Duration) (*client.Client, error) {
 }
 
 // Crash stops replica id and detaches it from the network, simulating
-// a fail-stop fault.
+// a fail-stop fault. The replica is marked crashed and stopped before
+// its links are cut, so no goroutine observes a half-dead replica.
 func (c *Cluster) Crash(id uint32) {
 	if c.crashed[id] {
 		return
 	}
 	c.crashed[id] = true
-	c.Net.Isolate(id)
 	c.replicas[id].Stop()
+	c.Net.Isolate(id)
+}
+
+// Restart brings a crashed replica back: its links are healed, a fresh
+// endpoint replaces the dead registration, and a new engine instance is
+// built by the cluster's factory on the replica's original enclave
+// platform (the trusted subsystem survives the host crash, as SGX
+// state sealed to the platform would). The restarted engine starts
+// from an empty application state and must catch up via the
+// protocol's own state transfer.
+func (c *Cluster) Restart(id uint32) error {
+	if !c.crashed[id] {
+		return fmt.Errorf("cluster: replica %d is not crashed", id)
+	}
+	c.Net.HealNode(id)
+	ep := c.endpoint(id)
+	r, err := c.factory(c.Cfg, id, ep, c.platforms[id])
+	if err != nil {
+		return fmt.Errorf("cluster: restart replica %d: %w", id, err)
+	}
+	c.replicas[id] = r
+	c.crashed[id] = false
+	r.Start()
+	return nil
 }
 
 // Hijack stops replica id and hands its network identity to the

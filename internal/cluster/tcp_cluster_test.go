@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"hybster/internal/apps/counter"
+	"hybster/internal/client"
+	"hybster/internal/core"
+	"hybster/internal/crypto"
+	"hybster/internal/enclave"
+	"hybster/internal/transport"
+)
+
+// freePorts reserves n distinct localhost ports.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	return addrs
+}
+
+// TestTCPClusterLeaderCrash runs a full Hybster group over real TCP
+// sockets — the cmd/hybster-replica deployment path, not memnet —
+// kills the leader, and requires the group to view-change and keep
+// committing. Regression test for the TCP deployment wedging on
+// leader loss.
+func TestTCPClusterLeaderCrash(t *testing.T) {
+	cfg := restartConfig()
+	addrs := freePorts(t, cfg.N)
+
+	eps := make([]*transport.TCPEndpoint, cfg.N)
+	engines := make([]Replica, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		peers := make(map[uint32]string)
+		for j, a := range addrs {
+			if j != i {
+				peers[uint32(j)] = a
+			}
+		}
+		ep, err := transport.NewTCP(uint32(i), addrs[i], peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+		eng, err := core.New(core.Options{
+			Config:      cfg,
+			ID:          uint32(i),
+			Endpoint:    ep,
+			Application: counter.New(),
+			Platform:    enclave.NewPlatform(fmt.Sprintf("replica-%d", i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = eng
+		eng.Start()
+	}
+	defer func() {
+		for i := range engines {
+			if engines[i] != nil {
+				engines[i].Stop()
+				eps[i].Close()
+			}
+		}
+	}()
+
+	newClient := func(k uint32) *client.Client {
+		t.Helper()
+		cid := crypto.ClientIDBase + k
+		cep, err := transport.NewTCP(cid, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, a := range addrs {
+			cep.AddPeer(uint32(j), a)
+		}
+		cl, err := client.New(client.Options{
+			Config: cfg, ID: cid, Endpoint: cep, Timeout: 500 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+
+	cl := newClient(100)
+	defer cl.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Invoke([]byte{1}, false); err != nil {
+			t.Fatalf("op %d before crash: %v", i, err)
+		}
+	}
+
+	// Kill the leader the way a process death does: engine stopped,
+	// sockets torn down.
+	engines[0].Stop()
+	eps[0].Close()
+	engines[0], eps[0] = nil, nil
+
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Invoke([]byte{1}, false); err != nil {
+			t.Fatalf("op %d after leader crash: %v", i, err)
+		}
+	}
+}

@@ -181,7 +181,7 @@ func putPrepare(e *Encoder, p *Prepare) {
 
 func getPrepare(d *Decoder) *Prepare {
 	return &Prepare{
-		View: timeline.View(d.U64()), Order: timeline.Order(d.U64()),
+		View: getView(d), Order: getOrder(d),
 		Requests: getRequestList(d), Cert: getCert(d),
 	}
 }
@@ -218,7 +218,7 @@ func putCommit(e *Encoder, c *Commit) {
 
 func getCommit(d *Decoder) *Commit {
 	return &Commit{
-		View: timeline.View(d.U64()), Order: timeline.Order(d.U64()),
+		View: getView(d), Order: getOrder(d),
 		Replica: d.U32(), BatchDigest: d.Bytes32(), Cert: getCert(d),
 	}
 }
@@ -232,7 +232,7 @@ func putCheckpoint(e *Encoder, c *Checkpoint) {
 
 func getCheckpoint(d *Decoder) *Checkpoint {
 	return &Checkpoint{
-		Order: timeline.Order(d.U64()), Replica: d.U32(),
+		Order: getOrder(d), Replica: d.U32(),
 		StateDigest: d.Bytes32(), Cert: getCert(d),
 	}
 }
@@ -274,8 +274,8 @@ func putViewChange(e *Encoder, v *ViewChange) {
 func getViewChange(d *Decoder) *ViewChange {
 	return &ViewChange{
 		Replica: d.U32(), Pillar: d.U32(),
-		From: timeline.View(d.U64()), To: timeline.View(d.U64()),
-		CkptOrder: timeline.Order(d.U64()), CkptDigest: d.Bytes32(),
+		From: getView(d), To: getView(d),
+		CkptOrder: getOrder(d), CkptDigest: d.Bytes32(),
 		CkptProof: getCheckpointList(d), Prepares: getPrepareList(d),
 		Cert: getCert(d),
 	}
@@ -313,7 +313,7 @@ func putNewViewAck(e *Encoder, a *NewViewAck) {
 
 func getNewViewAck(d *Decoder) *NewViewAck {
 	return &NewViewAck{
-		Replica: d.U32(), Pillar: d.U32(), View: timeline.View(d.U64()),
+		Replica: d.U32(), Pillar: d.U32(), View: getView(d),
 		Prepares: getPrepareList(d), Cert: getCert(d),
 	}
 }
@@ -331,7 +331,7 @@ func putNewView(e *Encoder, n *NewView) {
 }
 
 func getNewView(d *Decoder) *NewView {
-	nv := &NewView{View: timeline.View(d.U64()), Pillar: d.U32(), VCs: getViewChangeList(d)}
+	nv := &NewView{View: getView(d), Pillar: d.U32(), VCs: getViewChangeList(d)}
 	nAcks := d.Len(48)
 	if d.Err() != nil {
 		return nv
@@ -355,7 +355,7 @@ func putStateRequest(e *Encoder, s *StateRequest) {
 }
 
 func getStateRequest(d *Decoder) *StateRequest {
-	return &StateRequest{Replica: d.U32(), From: timeline.Order(d.U64())}
+	return &StateRequest{Replica: d.U32(), From: getOrder(d)}
 }
 
 func putStateReply(e *Encoder, s *StateReply) {
@@ -368,11 +368,32 @@ func putStateReply(e *Encoder, s *StateReply) {
 
 func getStateReply(d *Decoder) *StateReply {
 	return &StateReply{
-		Replica: d.U32(), CkptOrder: timeline.Order(d.U64()),
+		Replica: d.U32(), CkptOrder: getOrder(d),
 		Snapshot:    cloneBytes(d.VarBytes()),
 		ReplyVector: cloneBytes(d.VarBytes()),
 		Proof:       getCheckpointList(d),
 	}
+}
+
+// getView decodes a view number, rejecting values outside the packed
+// field width: wire input must never be able to make timeline.Pack
+// panic later.
+func getView(d *Decoder) timeline.View {
+	v := timeline.View(d.U64())
+	if v > timeline.MaxView && d.err == nil {
+		d.err = fmt.Errorf("%w: view %d exceeds field width", ErrMalformed, v)
+	}
+	return v
+}
+
+// getOrder decodes an order number, with the same bound check as
+// getView.
+func getOrder(d *Decoder) timeline.Order {
+	o := timeline.Order(d.U64())
+	if o > timeline.MaxOrder && d.err == nil {
+		d.err = fmt.Errorf("%w: order %d exceeds field width", ErrMalformed, o)
+	}
+	return o
 }
 
 // cloneBytes copies a decoded slice out of the shared input buffer; nil
@@ -419,7 +440,7 @@ func putPrePrepare(e *Encoder, p *PrePrepare) {
 
 func getPrePrepare(d *Decoder) *PrePrepare {
 	return &PrePrepare{
-		View: timeline.View(d.U64()), Order: timeline.Order(d.U64()),
+		View: getView(d), Order: getOrder(d),
 		Requests: getRequestList(d), Proof: getProof(d),
 	}
 }
@@ -434,7 +455,7 @@ func putPBFTPrepare(e *Encoder, p *PBFTPrepare) {
 
 func getPBFTPrepare(d *Decoder) *PBFTPrepare {
 	return &PBFTPrepare{
-		View: timeline.View(d.U64()), Order: timeline.Order(d.U64()),
+		View: getView(d), Order: getOrder(d),
 		Replica: d.U32(), BatchDigest: d.Bytes32(), Proof: getProof(d),
 	}
 }
@@ -449,7 +470,7 @@ func putPBFTCommit(e *Encoder, c *PBFTCommit) {
 
 func getPBFTCommit(d *Decoder) *PBFTCommit {
 	return &PBFTCommit{
-		View: timeline.View(d.U64()), Order: timeline.Order(d.U64()),
+		View: getView(d), Order: getOrder(d),
 		Replica: d.U32(), BatchDigest: d.Bytes32(), Proof: getProof(d),
 	}
 }
@@ -463,7 +484,7 @@ func putPBFTCheckpoint(e *Encoder, c *PBFTCheckpoint) {
 
 func getPBFTCheckpoint(d *Decoder) *PBFTCheckpoint {
 	return &PBFTCheckpoint{
-		Order: timeline.Order(d.U64()), Replica: d.U32(),
+		Order: getOrder(d), Replica: d.U32(),
 		StateDigest: d.Bytes32(), Proof: getProof(d),
 	}
 }
@@ -489,8 +510,8 @@ func putPBFTViewChange(e *Encoder, v *PBFTViewChange) {
 
 func getPBFTViewChange(d *Decoder) *PBFTViewChange {
 	v := &PBFTViewChange{
-		Replica: d.U32(), View: timeline.View(d.U64()),
-		CkptOrder: timeline.Order(d.U64()),
+		Replica: d.U32(), View: getView(d),
+		CkptOrder: getOrder(d),
 	}
 	nCk := d.Len(45)
 	for i := 0; i < nCk && d.Err() == nil; i++ {
@@ -523,7 +544,7 @@ func putPBFTNewView(e *Encoder, n *PBFTNewView) {
 }
 
 func getPBFTNewView(d *Decoder) *PBFTNewView {
-	n := &PBFTNewView{View: timeline.View(d.U64())}
+	n := &PBFTNewView{View: getView(d)}
 	nVC := d.Len(64)
 	for i := 0; i < nVC && d.Err() == nil; i++ {
 		n.VCs = append(n.VCs, getPBFTViewChange(d))
@@ -546,7 +567,7 @@ func putMinPrepare(e *Encoder, p *MinPrepare) {
 
 func getMinPrepare(d *Decoder) *MinPrepare {
 	return &MinPrepare{
-		View: timeline.View(d.U64()), Requests: getRequestList(d), UI: getUI(d),
+		View: getView(d), Requests: getRequestList(d), UI: getUI(d),
 	}
 }
 
@@ -565,7 +586,7 @@ func putMinCommit(e *Encoder, c *MinCommit) {
 }
 
 func getMinCommit(d *Decoder) *MinCommit {
-	c := &MinCommit{View: timeline.View(d.U64()), Replica: d.U32(), BatchDigest: d.Bytes32()}
+	c := &MinCommit{View: getView(d), Replica: d.U32(), BatchDigest: d.Bytes32()}
 	if d.Bool() {
 		c.Prepare = getMinPrepare(d)
 	}
@@ -581,7 +602,7 @@ func putMinReqViewChange(e *Encoder, r *MinReqViewChange) {
 }
 
 func getMinReqViewChange(d *Decoder) *MinReqViewChange {
-	return &MinReqViewChange{Replica: d.U32(), View: timeline.View(d.U64()), Auth: getAuth(d)}
+	return &MinReqViewChange{Replica: d.U32(), View: getView(d), Auth: getAuth(d)}
 }
 
 func putMinViewChange(e *Encoder, v *MinViewChange) {
@@ -602,15 +623,15 @@ func putMinViewChange(e *Encoder, v *MinViewChange) {
 
 func getMinViewChange(d *Decoder) *MinViewChange {
 	v := &MinViewChange{
-		Replica: d.U32(), View: timeline.View(d.U64()),
-		CkptOrder: timeline.Order(d.U64()), CkptProof: getCheckpointList(d),
+		Replica: d.U32(), View: getView(d),
+		CkptOrder: getOrder(d), CkptProof: getCheckpointList(d),
 		HistBase: d.U64(),
 	}
 	n := d.Len(4)
 	for i := 0; i < n && d.Err() == nil; i++ {
 		v.History = append(v.History, cloneBytes(d.VarBytes()))
 	}
-	v.AnchorView = timeline.View(d.U64())
+	v.AnchorView = getView(d)
 	v.AnchorOrder = d.U64()
 	v.AnchorCounter = d.U64()
 	v.UI = getUI(d)
@@ -627,7 +648,7 @@ func putMinNewView(e *Encoder, n *MinNewView) {
 }
 
 func getMinNewView(d *Decoder) *MinNewView {
-	n := &MinNewView{View: timeline.View(d.U64())}
+	n := &MinNewView{View: getView(d)}
 	c := d.Len(64)
 	for i := 0; i < c && d.Err() == nil; i++ {
 		n.VCs = append(n.VCs, getMinViewChange(d))

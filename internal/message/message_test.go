@@ -346,3 +346,29 @@ func TestMarshalDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestUnmarshalRejectsOutOfRangeViewOrder pins that view and order
+// numbers exceeding the timeline field widths are rejected at decode
+// time: a corrupted or hostile frame must fail to parse rather than
+// make timeline.Pack panic inside a later Digest call.
+func TestUnmarshalRejectsOutOfRangeViewOrder(t *testing.T) {
+	overView := uint64(timeline.MaxView) + 1
+	overOrder := uint64(timeline.MaxOrder) + 1
+
+	cases := []Message{
+		&Prepare{View: timeline.View(overView)},
+		&Commit{Order: timeline.Order(overOrder)},
+		&PBFTPrepare{View: timeline.View(overView)},
+		&PBFTCommit{Order: timeline.Order(overOrder)},
+		&PBFTViewChange{View: timeline.View(overView)},
+		&MinPrepare{View: timeline.View(overView)},
+		&Checkpoint{Order: timeline.Order(overOrder)},
+	}
+	for _, m := range cases {
+		buf := Marshal(m)
+		if _, err := Unmarshal(buf); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("%s with out-of-range view/order: err = %v, want ErrMalformed",
+				m.MsgType(), err)
+		}
+	}
+}

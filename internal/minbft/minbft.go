@@ -117,6 +117,14 @@ type Engine struct {
 	// ckptProof is the quorum certificate of the last stable
 	// checkpoint, carried by VIEW-CHANGEs.
 	ckptProof []*message.Checkpoint
+	// resend is a bounded ring of recently sent UI-consuming messages.
+	// MinBFT requires reliable FIFO channels: a receiver processes a
+	// sender's messages strictly in counter order, so one lost message
+	// wedges the link forever. Re-multicasting recent messages while
+	// progress is stalled implements the reliable-channel assumption
+	// over a lossy network; receivers drop replays by counter.
+	resend     []message.Message
+	lastResend time.Time
 	// histLenSnapshot mirrors len(sentLog) for HistoryLen (tests).
 	histLenSnapshot int
 

@@ -42,13 +42,18 @@ type sentEntry struct {
 	raw     []byte
 }
 
-// recordSent appends a UI-consuming message to the history log.
+// recordSent appends a UI-consuming message to the history log and to
+// the bounded retransmission ring.
 func (e *Engine) recordSent(ui usig.UI, order timeline.Order, m message.Message) {
 	e.lastSent = ui.Counter
 	e.sentLog = append(e.sentLog, sentEntry{counter: ui.Counter, order: order, raw: message.Marshal(m)})
 	e.mu.Lock()
 	e.histLenSnapshot = len(e.sentLog)
 	e.mu.Unlock()
+	if cap := 4 * int(e.cfg.WindowSize); len(e.resend) >= cap {
+		e.resend = append(e.resend[:0], e.resend[len(e.resend)-cap+1:]...)
+	}
+	e.resend = append(e.resend, m)
 }
 
 // pruneHistory drops the history prefix covered by a stable checkpoint
@@ -84,6 +89,16 @@ func (e *Engine) HistoryLen() int {
 func (e *Engine) handleTick() {
 	now := time.Now()
 	ps := e.pendingSince
+	// Progress stalled for half a suspicion period: assume messages
+	// were lost and re-multicast the recent send window so peers can
+	// fill counter gaps (see the resend field).
+	if !ps.IsZero() && now.Sub(ps) > e.cfg.ViewChangeTimeout/2 &&
+		now.Sub(e.lastResend) >= e.cfg.ViewChangeTimeout/2 {
+		e.lastResend = now
+		for _, m := range e.resend {
+			transport.Multicast(e.ep, e.cfg.N, m)
+		}
+	}
 	if !e.pending {
 		if !ps.IsZero() && now.Sub(ps) > e.cfg.ViewChangeTimeout {
 			e.suspects.Add(1)

@@ -70,12 +70,17 @@ type memEndpoint struct {
 
 // Endpoint registers node id on the network and returns its endpoint.
 // Registering an existing ID replaces the previous endpoint (supporting
-// crash-restart tests).
+// crash-restart); the replaced endpoint is closed so in-flight link
+// deliveries cannot reach a stale handler.
 func (n *Network) Endpoint(id uint32) Endpoint {
 	ep := &memEndpoint{net: n, id: id}
 	n.mu.Lock()
+	old := n.nodes[id]
 	n.nodes[id] = ep
 	n.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
 	return ep
 }
 
@@ -96,6 +101,18 @@ func (n *Network) Isolate(a uint32) {
 		if id != a {
 			n.partitions[[2]uint32{a, id}] = true
 			n.partitions[[2]uint32{id, a}] = true
+		}
+	}
+	n.mu.Unlock()
+}
+
+// HealNode removes every partition involving node a, undoing a prior
+// Isolate without touching partitions between other node pairs.
+func (n *Network) HealNode(a uint32) {
+	n.mu.Lock()
+	for key := range n.partitions {
+		if key[0] == a || key[1] == a {
+			delete(n.partitions, key)
 		}
 	}
 	n.mu.Unlock()

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -15,8 +16,68 @@ import (
 // corrupt length prefixes.
 const maxFrameSize = 64 << 20
 
+// TCPOptions tune the self-healing behaviour of a TCPEndpoint. The
+// zero value selects the defaults below.
+type TCPOptions struct {
+	// QueueDepth bounds the per-peer outbound queue; when it is full
+	// the oldest frame is dropped (the protocols tolerate loss and
+	// retransmit), so one unreachable peer can never wedge a sender.
+	// Default 4096.
+	QueueDepth int
+	// DialTimeout bounds one connection attempt. Default 3s.
+	DialTimeout time.Duration
+	// BackoffMin is the redial backoff after the first failure; it
+	// doubles per consecutive failure up to BackoffMax, with ±50%
+	// jitter to avoid reconnection stampedes. Defaults 20ms / 2s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// HeartbeatInterval is how long a peer connection may sit idle
+	// before a heartbeat frame is written to it. Default 500ms.
+	HeartbeatInterval time.Duration
+	// ReadIdleTimeout is the read deadline on inbound connections;
+	// peers heartbeat when idle, so a silent inbound connection is a
+	// dead one and is closed. Zero disables. Default 3×heartbeat.
+	ReadIdleTimeout time.Duration
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4096
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 20 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if o.ReadIdleTimeout <= 0 {
+		o.ReadIdleTimeout = 3 * o.HeartbeatInterval
+	}
+	return o
+}
+
+// PeerState is a snapshot of one outbound peer link's health.
+type PeerState struct {
+	// Connected reports whether a live connection to the peer exists.
+	Connected bool
+	// Attempts counts dial attempts that failed since the link was
+	// created (cumulative; it keeps growing across outages).
+	Attempts uint64
+	// Drops counts frames discarded by queue overflow (drop-oldest).
+	Drops uint64
+	// Queued is the current outbound queue length.
+	Queued int
+}
+
 // tcpConn serializes frame writes; a frame must reach the stream
-// atomically even when several pillar goroutines send concurrently.
+// atomically even when several goroutines send concurrently (the
+// reply path writes directly from protocol goroutines).
 type tcpConn struct {
 	net.Conn
 	mu sync.Mutex
@@ -29,18 +90,207 @@ func (c *tcpConn) writeFrame(frame []byte) error {
 	return err
 }
 
+// peerLink is the self-healing outbound channel to one peer: a bounded
+// drop-oldest frame queue drained by a background sender goroutine
+// that dials with exponential backoff and heartbeats when idle.
+// Protocol goroutines only ever enqueue; they never block on the
+// network.
+type peerLink struct {
+	ep   *TCPEndpoint
+	id   uint32
+	addr string
+
+	mu     sync.Mutex
+	queue  [][]byte
+	notify chan struct{}
+	closed bool
+	state  PeerState
+}
+
+func (l *peerLink) enqueue(frame []byte) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	if len(l.queue) >= l.ep.opts.QueueDepth {
+		l.queue = l.queue[1:]
+		l.state.Drops++
+	}
+	l.queue = append(l.queue, frame)
+	l.mu.Unlock()
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+}
+
+// requeueFront puts a frame whose write failed back at the head of the
+// queue so the redialed connection retries it instead of losing it.
+func (l *peerLink) requeueFront(frame []byte) {
+	l.mu.Lock()
+	if !l.closed && len(l.queue) < l.ep.opts.QueueDepth {
+		l.queue = append([][]byte{frame}, l.queue...)
+	}
+	l.mu.Unlock()
+}
+
+func (l *peerLink) dequeue() ([]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.queue) == 0 {
+		return nil, false
+	}
+	f := l.queue[0]
+	l.queue = l.queue[1:]
+	return f, true
+}
+
+func (l *peerLink) snapshot() PeerState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.state
+	s.Queued = len(l.queue)
+	return s
+}
+
+// run is the link's sender loop: connect (with backoff), drain the
+// queue, heartbeat when idle, reconnect on error.
+func (l *peerLink) run() {
+	defer l.ep.wg.Done()
+	backoff := l.ep.opts.BackoffMin
+	for {
+		conn, ok := l.connect(&backoff)
+		if !ok {
+			return // endpoint closed
+		}
+		l.drain(conn)
+		// drain only returns on write error or shutdown; drop the
+		// broken connection and loop to redial.
+		l.ep.dropConn(l.id, conn)
+		if l.isClosed() {
+			return
+		}
+	}
+}
+
+// connect establishes (or reuses) the outbound connection, sleeping
+// with exponential backoff plus jitter between failed attempts.
+func (l *peerLink) connect(backoff *time.Duration) (*tcpConn, bool) {
+	for {
+		if l.isClosed() {
+			return nil, false
+		}
+		l.mu.Lock()
+		addr := l.addr
+		l.mu.Unlock()
+		raw, err := net.DialTimeout("tcp", addr, l.ep.opts.DialTimeout)
+		if err == nil {
+			if tc, ok := raw.(*net.TCPConn); ok {
+				_ = tc.SetNoDelay(true)
+			}
+			c := &tcpConn{Conn: raw}
+			if !l.ep.registerConn(l.id, c) {
+				_ = raw.Close()
+				return nil, false
+			}
+			l.mu.Lock()
+			l.state.Connected = true
+			l.mu.Unlock()
+			*backoff = l.ep.opts.BackoffMin
+			return c, true
+		}
+		l.mu.Lock()
+		l.state.Attempts++
+		l.mu.Unlock()
+		// ±50% jitter decorrelates redials across the cluster.
+		sleep := *backoff/2 + time.Duration(rand.Int63n(int64(*backoff)))
+		if *backoff *= 2; *backoff > l.ep.opts.BackoffMax {
+			*backoff = l.ep.opts.BackoffMax
+		}
+		select {
+		case <-time.After(sleep):
+		case <-l.ep.done:
+			return nil, false
+		}
+	}
+}
+
+// drain writes queued frames to conn, heartbeating when idle. It
+// returns when a write fails or the endpoint shuts down.
+func (l *peerLink) drain(conn *tcpConn) {
+	defer func() {
+		l.mu.Lock()
+		l.state.Connected = false
+		l.mu.Unlock()
+	}()
+	idle := time.NewTimer(l.ep.opts.HeartbeatInterval)
+	defer idle.Stop()
+	for {
+		frame, ok := l.dequeue()
+		if !ok {
+			select {
+			case <-l.notify:
+				continue
+			case <-idle.C:
+				if err := conn.writeFrame(l.ep.heartbeat); err != nil {
+					return
+				}
+				idle.Reset(l.ep.opts.HeartbeatInterval)
+				continue
+			case <-l.ep.done:
+				return
+			}
+		}
+		if err := conn.writeFrame(frame); err != nil {
+			l.requeueFront(frame)
+			return
+		}
+		if !idle.Stop() {
+			select {
+			case <-idle.C:
+			default:
+			}
+		}
+		idle.Reset(l.ep.opts.HeartbeatInterval)
+	}
+}
+
+func (l *peerLink) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+func (l *peerLink) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.queue = nil
+	l.mu.Unlock()
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+}
+
 // TCPEndpoint is a real-network transport: one listener per node,
-// length-prefixed frames, lazily established and automatically
-// redialed outbound connections. Nodes without a configured address
-// (clients) are answered over the connection their traffic arrived on.
-// It serves the multi-process deployment driven by cmd/hybster-replica
-// and cmd/hybster-client.
+// length-prefixed frames, and self-healing outbound peer links — per
+// peer a bounded drop-oldest queue, a background sender, exponential
+// backoff + jitter redial, and heartbeats with idle read deadlines to
+// detect dead peers. Send never blocks on the network, so a slow or
+// unreachable peer cannot wedge a protocol goroutine. Nodes without a
+// configured address (clients) are answered over the connection their
+// traffic arrived on. It serves the multi-process deployment driven by
+// cmd/hybster-replica and cmd/hybster-client.
 type TCPEndpoint struct {
-	id       uint32
-	listener net.Listener
+	id        uint32
+	listener  net.Listener
+	opts      TCPOptions
+	heartbeat []byte // prebuilt empty frame announcing our ID
+	done      chan struct{}
 
 	mu      sync.Mutex
-	peers   map[uint32]string
+	links   map[uint32]*peerLink
 	conns   map[uint32]*tcpConn
 	inbound map[net.Conn]*tcpConn
 	// replyPath maps node IDs to the inbound connection their frames
@@ -52,24 +302,36 @@ type TCPEndpoint struct {
 	wg        sync.WaitGroup
 }
 
-// NewTCP creates an endpoint for node id listening on listenAddr.
-// peers maps node IDs to their listen addresses; it may be extended
-// later with AddPeer.
+// NewTCP creates an endpoint for node id listening on listenAddr with
+// default options. peers maps node IDs to their listen addresses; it
+// may be extended later with AddPeer.
 func NewTCP(id uint32, listenAddr string, peers map[uint32]string) (*TCPEndpoint, error) {
+	return NewTCPWithOptions(id, listenAddr, peers, TCPOptions{})
+}
+
+// NewTCPWithOptions is NewTCP with explicit tuning (tests use short
+// heartbeat and backoff intervals).
+func NewTCPWithOptions(id uint32, listenAddr string, peers map[uint32]string, opts TCPOptions) (*TCPEndpoint, error) {
 	l, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
 	}
+	hb := make([]byte, 8)
+	binary.BigEndian.PutUint32(hb[0:4], 4)
+	binary.BigEndian.PutUint32(hb[4:8], id)
 	ep := &TCPEndpoint{
 		id:        id,
 		listener:  l,
-		peers:     make(map[uint32]string, len(peers)),
+		opts:      opts.withDefaults(),
+		heartbeat: hb,
+		done:      make(chan struct{}),
+		links:     make(map[uint32]*peerLink),
 		conns:     make(map[uint32]*tcpConn),
 		inbound:   make(map[net.Conn]*tcpConn),
 		replyPath: make(map[uint32]*tcpConn),
 	}
 	for pid, addr := range peers {
-		ep.peers[pid] = addr
+		ep.AddPeer(pid, addr)
 	}
 	ep.wg.Add(1)
 	go ep.acceptLoop()
@@ -79,11 +341,50 @@ func NewTCP(id uint32, listenAddr string, peers map[uint32]string) (*TCPEndpoint
 // Addr returns the actual listen address (useful with ":0").
 func (ep *TCPEndpoint) Addr() string { return ep.listener.Addr().String() }
 
-// AddPeer registers or updates the address of a peer.
+// AddPeer registers or updates the address of a peer and starts its
+// self-healing sender link.
 func (ep *TCPEndpoint) AddPeer(id uint32, addr string) {
 	ep.mu.Lock()
-	ep.peers[id] = addr
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return
+	}
+	if l, ok := ep.links[id]; ok {
+		l.mu.Lock()
+		l.addr = addr
+		l.mu.Unlock()
+		return
+	}
+	l := &peerLink{ep: ep, id: id, addr: addr, notify: make(chan struct{}, 1)}
+	ep.links[id] = l
+	ep.wg.Add(1)
+	go l.run()
+}
+
+// PeerStates returns a health snapshot of every configured peer link.
+func (ep *TCPEndpoint) PeerStates() map[uint32]PeerState {
+	ep.mu.Lock()
+	links := make([]*peerLink, 0, len(ep.links))
+	for _, l := range ep.links {
+		links = append(links, l)
+	}
 	ep.mu.Unlock()
+	out := make(map[uint32]PeerState, len(links))
+	for _, l := range links {
+		out[l.id] = l.snapshot()
+	}
+	return out
+}
+
+// PeerState returns the health snapshot of one peer link.
+func (ep *TCPEndpoint) PeerState(id uint32) (PeerState, bool) {
+	ep.mu.Lock()
+	l, ok := ep.links[id]
+	ep.mu.Unlock()
+	if !ok {
+		return PeerState{}, false
+	}
+	return l.snapshot(), true
 }
 
 // ID implements Endpoint.
@@ -96,9 +397,12 @@ func (ep *TCPEndpoint) Handle(h Handler) {
 	ep.mu.Unlock()
 }
 
-// Send implements Endpoint. Connections are established on first use
-// and dropped on error; the next Send redials. Destinations without a
-// configured address are reached over their last inbound connection.
+// Send implements Endpoint. For configured peers the frame is queued
+// on the peer's self-healing link and the call returns immediately;
+// delivery is best effort with drop-oldest overflow. Destinations
+// without a configured address are reached by a direct write on their
+// last inbound connection, which is evicted on error so the next
+// arrival re-establishes the path.
 func (ep *TCPEndpoint) Send(to uint32, m message.Message) error {
 	payload := message.Marshal(m)
 	frame := make([]byte, 8+len(payload))
@@ -106,69 +410,61 @@ func (ep *TCPEndpoint) Send(to uint32, m message.Message) error {
 	binary.BigEndian.PutUint32(frame[4:8], ep.id)
 	copy(frame[8:], payload)
 
-	conn, dialed, err := ep.conn(to)
-	if err != nil {
-		return err
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return ErrClosed
 	}
-	if err := conn.writeFrame(frame); err != nil {
-		if dialed {
-			ep.dropConn(to, conn)
-		}
+	if l, ok := ep.links[to]; ok {
+		ep.mu.Unlock()
+		l.enqueue(frame)
+		return nil
+	}
+	rp, ok := ep.replyPath[to]
+	ep.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	if err := rp.writeFrame(frame); err != nil {
+		// Evict the dead reply-path connection immediately: later
+		// replies must not keep hitting it until the read loop notices.
+		ep.evictReplyPath(to, rp)
 		return fmt.Errorf("transport: send to %d: %w", to, err)
 	}
 	return nil
 }
 
-// conn returns a connection to node "to": an outbound connection when
-// an address is known (dialing if necessary), otherwise the node's
-// inbound reply path.
-func (ep *TCPEndpoint) conn(to uint32) (c *tcpConn, dialed bool, err error) {
+// evictReplyPath removes a broken inbound reply connection.
+func (ep *TCPEndpoint) evictReplyPath(to uint32, c *tcpConn) {
 	ep.mu.Lock()
-	if ep.closed {
-		ep.mu.Unlock()
-		return nil, false, ErrClosed
-	}
-	if c, ok := ep.conns[to]; ok {
-		ep.mu.Unlock()
-		return c, true, nil
-	}
-	addr, hasAddr := ep.peers[to]
-	if !hasAddr {
-		if rp, ok := ep.replyPath[to]; ok {
-			ep.mu.Unlock()
-			return rp, false, nil
-		}
-		ep.mu.Unlock()
-		return nil, false, fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	if ep.replyPath[to] == c {
+		delete(ep.replyPath, to)
 	}
 	ep.mu.Unlock()
+	_ = c.Close()
+}
 
-	raw, err := net.DialTimeout("tcp", addr, 3*time.Second)
-	if err != nil {
-		return nil, false, fmt.Errorf("transport: dial %d (%s): %w", to, addr, err)
-	}
-	if tc, ok := raw.(*net.TCPConn); ok {
-		_ = tc.SetNoDelay(true)
-	}
-	c = &tcpConn{Conn: raw}
-
+// registerConn installs a freshly dialed outbound connection and
+// starts its read loop. It returns false when the endpoint is closed.
+func (ep *TCPEndpoint) registerConn(to uint32, c *tcpConn) bool {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	if ep.closed {
-		_ = raw.Close()
-		return nil, false, ErrClosed
+		return false
 	}
-	if existing, ok := ep.conns[to]; ok {
-		_ = raw.Close() // lost the dial race
-		return existing, true, nil
+	if old, ok := ep.conns[to]; ok && old != c {
+		_ = old.Close()
 	}
 	ep.conns[to] = c
 	ep.wg.Add(1)
 	go ep.readLoop(c, false)
-	return c, true, nil
+	return true
 }
 
 func (ep *TCPEndpoint) dropConn(to uint32, c *tcpConn) {
+	if c == nil {
+		return
+	}
 	ep.mu.Lock()
 	if ep.conns[to] == c {
 		delete(ep.conns, to)
@@ -199,7 +495,10 @@ func (ep *TCPEndpoint) acceptLoop() {
 }
 
 // readLoop consumes frames from one connection. Inbound connections
-// additionally register as the reply path of the sending node.
+// additionally register as the reply path of the sending node and
+// carry an idle read deadline: peers heartbeat when idle, so silence
+// beyond the deadline means the peer is dead and the connection is
+// dropped.
 func (ep *TCPEndpoint) readLoop(c *tcpConn, isInbound bool) {
 	defer ep.wg.Done()
 	defer func() {
@@ -221,6 +520,9 @@ func (ep *TCPEndpoint) readLoop(c *tcpConn, isInbound bool) {
 	var lenBuf [4]byte
 	registered := false
 	for {
+		if isInbound && ep.opts.ReadIdleTimeout > 0 {
+			_ = c.SetReadDeadline(time.Now().Add(ep.opts.ReadIdleTimeout))
+		}
 		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
 			return
 		}
@@ -238,6 +540,9 @@ func (ep *TCPEndpoint) readLoop(c *tcpConn, isInbound bool) {
 			ep.replyPath[from] = c
 			ep.mu.Unlock()
 			registered = true
+		}
+		if n == 4 {
+			continue // heartbeat frame: ID only, no payload
 		}
 		m, err := message.Unmarshal(body[4:])
 		if err != nil {
@@ -264,6 +569,7 @@ func (ep *TCPEndpoint) Close() error {
 		return nil
 	}
 	ep.closed = true
+	links := ep.links
 	all := make([]*tcpConn, 0, len(ep.conns)+len(ep.inbound))
 	for _, c := range ep.conns {
 		all = append(all, c)
@@ -271,10 +577,15 @@ func (ep *TCPEndpoint) Close() error {
 	for _, c := range ep.inbound {
 		all = append(all, c)
 	}
+	ep.links = make(map[uint32]*peerLink)
 	ep.conns = make(map[uint32]*tcpConn)
 	ep.inbound = make(map[net.Conn]*tcpConn)
 	ep.mu.Unlock()
 
+	close(ep.done)
+	for _, l := range links {
+		l.close()
+	}
 	err := ep.listener.Close()
 	for _, c := range all {
 		_ = c.Close()

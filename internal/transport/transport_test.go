@@ -245,6 +245,11 @@ func TestMemnetEndpointReplacement(t *testing.T) {
 	if oldCol.count() != 0 {
 		t.Fatal("replaced endpoint still receives")
 	}
+	// The replaced endpoint is closed, so a stale handle held by the
+	// crashed replica cannot keep sending under the restarted identity.
+	if err := old.Send(0, testMsg(2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("stale endpoint send: err = %v, want ErrClosed", err)
+	}
 }
 
 func TestMulticast(t *testing.T) {
@@ -390,11 +395,11 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 	col.waitFor(t, 1, 2*time.Second)
 
 	_ = b.Close()
-	// Sends fail while b is down (possibly after one buffered write).
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
+	// Sends while b is down succeed immediately: the self-healing link
+	// queues them for redelivery.
+	for i := 0; i < 5; i++ {
 		if err := a.Send(1, testMsg(2)); err != nil {
-			break
+			t.Fatalf("send during outage: %v", err)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -407,8 +412,8 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 	col2 := newCollector()
 	b2.Handle(col2.handler)
 
-	// Redial happens on the next Send after the failure.
-	deadline = time.Now().Add(3 * time.Second)
+	// The background sender redials on its own.
+	deadline := time.Now().Add(3 * time.Second)
 	for time.Now().Before(deadline) && col2.count() == 0 {
 		_ = a.Send(1, testMsg(3))
 		time.Sleep(20 * time.Millisecond)
