@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test test-race vet chaos-smoke bench
+# Per-target budget of the fuzz smoke (make fuzz-smoke / CI).
+FUZZTIME ?= 20s
+
+.PHONY: build test test-race vet chaos-smoke chaos-long fuzz-smoke bench
 
 build:
 	$(GO) build ./...
@@ -18,6 +21,20 @@ vet:
 # a partition window, and a crash-restart, with the race detector on.
 chaos-smoke:
 	$(GO) test -race -short -count=1 -run 'TestChaos' ./internal/chaos/...
+
+# Long seed sweep with elevated fault rates, alternating cold-restart
+# and amnesia recovery. Tune with CHAOS_LONG_SEEDS / CHAOS_LONG_HORIZON.
+chaos-long:
+	CHAOS_LONG=1 $(GO) test -count=1 -timeout 45m \
+		-run 'TestChaosLongDurableSweep' -v ./internal/chaos/
+
+# Coverage-guided fuzzing smoke: every Fuzz target in the tree gets
+# $(FUZZTIME) of mutation (Go allows one -fuzz target per invocation).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshal$$' -fuzztime $(FUZZTIME) ./internal/message/
+	$(GO) test -run '^$$' -fuzz 'FuzzViewChangeRoundtrip$$' -fuzztime $(FUZZTIME) ./internal/message/
+	$(GO) test -run '^$$' -fuzz 'FuzzDecoderPrimitives$$' -fuzztime $(FUZZTIME) ./internal/message/
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeRecord$$' -fuzztime $(FUZZTIME) ./internal/wal/
 
 bench:
 	$(GO) test -bench=. -benchmem

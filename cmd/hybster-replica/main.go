@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 
@@ -42,6 +43,7 @@ func main() {
 	rotate := flag.Bool("rotate", false, "rotate the proposer over all replicas")
 	appFlag := flag.String("app", "echo", "application: echo, counter, coordination")
 	keySeed := flag.String("keyseed", "hybster-default", "group key seed (must match on all nodes)")
+	dataDir := flag.String("data", "", "data directory for durable crash-recovery (sealed counters + WAL); empty = in-memory only")
 	flag.Parse()
 
 	peers := strings.Split(*peersFlag, ",")
@@ -81,6 +83,20 @@ func main() {
 
 	app := newApp(*appFlag)
 	platform := enclave.NewPlatform(fmt.Sprintf("replica-%d", *id))
+	if *dataDir != "" {
+		// The seal-sequence register stands in for the SGX monotonic
+		// counter: it must survive the process, or sealed counter state
+		// could be rolled back undetected across restarts.
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := platform.BindStore(filepath.Join(*dataDir, "sealreg")); err != nil {
+			log.Fatal(err)
+		}
+		if proto != config.HybsterS && proto != config.HybsterX {
+			log.Fatalf("-data requires a hybster protocol; %s has no recovery path", proto)
+		}
+	}
 
 	var replica cluster.Replica
 	switch proto {
@@ -88,6 +104,7 @@ func main() {
 		replica, err = core.New(core.Options{
 			Config: cfg, ID: uint32(*id), Endpoint: ep, Application: app,
 			Platform: platform, EnclaveCost: enclave.DefaultCostModel,
+			DataDir: *dataDir,
 		})
 	case config.PBFTcop, config.HybridPBFT:
 		replica, err = pbft.New(pbft.Options{
@@ -111,7 +128,12 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("replica %d shutting down (executed up to order %d)", *id, replica.LastExecuted())
+	// Stop flushes the write-ahead log and force-seals the trusted
+	// counters, so a SIGTERM'd replica restarts from its exact frontier.
 	replica.Stop()
+	if *dataDir != "" {
+		log.Printf("replica %d state sealed under %s", *id, *dataDir)
+	}
 }
 
 func parseProtocol(s string) (config.Protocol, error) {

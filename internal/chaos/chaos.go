@@ -13,7 +13,6 @@ import (
 	"hybster/internal/config"
 	"hybster/internal/core"
 	"hybster/internal/crypto"
-	"hybster/internal/enclave"
 	"hybster/internal/message"
 	"hybster/internal/minbft"
 	"hybster/internal/pbft"
@@ -42,6 +41,13 @@ type Options struct {
 	// MinPostHealCommits is the liveness bar: at least this many fresh
 	// requests must commit after everything heals (default 5).
 	MinPostHealCommits int
+	// DataRoot, when set, runs replicas with persistent data
+	// directories under it: crash+restart becomes a cold restart
+	// (recover from sealed counters and the WAL), and scheduled
+	// amnesia events become meaningful (the wiped replica must be
+	// refused as a zombie). Only Hybster protocols use the disk;
+	// others ignore it. Tests pass t.TempDir().
+	DataRoot string
 	// Logf receives progress lines (optional; tests pass t.Logf).
 	Logf func(format string, args ...any)
 }
@@ -64,6 +70,10 @@ type Result struct {
 	HistoryPoints int
 	// Restarted lists replicas that were crash-restarted.
 	Restarted []uint32
+	// Zombies lists replicas that tried to rejoin after losing durable
+	// state (amnesia) and were correctly refused — they stay down and
+	// are exempt from the catch-up liveness check.
+	Zombies []uint32
 }
 
 func (o Options) withDefaults() Options {
@@ -249,7 +259,7 @@ func configFor(p config.Protocol) config.Config {
 // history-recording application. Each (replica, incarnation) pair gets
 // its own recorder identity so a restarted replica's fresh history is
 // tracked separately from its previous life.
-func (r *run) factory(cfg config.Config, id uint32, ep transport.Endpoint, platform *enclave.Platform) (cluster.Replica, error) {
+func (r *run) factory(cfg config.Config, id uint32, ep transport.Endpoint, env cluster.NodeEnv) (cluster.Replica, error) {
 	r.incarnation[id]++
 	app := &historyRecorder{
 		inner: counter.New(),
@@ -259,15 +269,16 @@ func (r *run) factory(cfg config.Config, id uint32, ep transport.Endpoint, platf
 	switch cfg.Protocol {
 	case config.MinBFT:
 		return minbft.New(minbft.Options{
-			Config: cfg, ID: id, Endpoint: ep, Application: app, Platform: platform,
+			Config: cfg, ID: id, Endpoint: ep, Application: app, Platform: env.Platform,
 		})
 	case config.PBFTcop, config.HybridPBFT:
 		return pbft.New(pbft.Options{
-			Config: cfg, ID: id, Endpoint: ep, Application: app, Platform: platform,
+			Config: cfg, ID: id, Endpoint: ep, Application: app, Platform: env.Platform,
 		})
 	default:
 		return core.New(core.Options{
-			Config: cfg, ID: id, Endpoint: ep, Application: app, Platform: platform,
+			Config: cfg, ID: id, Endpoint: ep, Application: app, Platform: env.Platform,
+			DataDir: env.DataDir,
 		})
 	}
 }
@@ -310,6 +321,7 @@ func Run(o Options) (*Result, error) {
 		Config:       cfg,
 		Seed:         plan.Seed,
 		WrapEndpoint: r.wrapEndpoint,
+		DataRoot:     o.DataRoot,
 	}, r.factory)
 	if err != nil {
 		r.mu.Unlock()
@@ -403,9 +415,19 @@ func (r *run) applySchedule() {
 		}})
 		if c.Downtime > 0 && c.At+c.Downtime < r.plan.Horizon {
 			events = append(events, event{c.At + c.Downtime, func() {
-				r.opts.Logf("chaos: restart r%d", c.Replica)
 				r.mu.Lock()
-				_ = r.cl.Restart(c.Replica)
+				if c.Amnesia && r.opts.DataRoot != "" {
+					// Wipe the disk first: a durable replica must be
+					// refused (its seal register outlives its blob) and
+					// stays down as a zombie for the rest of the run.
+					r.opts.Logf("chaos: restart r%d with amnesia", c.Replica)
+					if err := r.cl.RestartAmnesia(c.Replica); err != nil {
+						r.opts.Logf("chaos: r%d refused (zombie): %v", c.Replica, err)
+					}
+				} else {
+					r.opts.Logf("chaos: restart r%d", c.Replica)
+					_ = r.cl.Restart(c.Replica)
+				}
 				r.mu.Unlock()
 			}})
 		}
@@ -439,10 +461,11 @@ func (r *run) applySchedule() {
 	if d := r.plan.Horizon - time.Since(start); d > 0 {
 		time.Sleep(d)
 	}
-	// Bring back any replica still down at the horizon.
+	// Bring back any replica still down at the horizon — except
+	// zombies, which were refused for cause and must stay down.
 	r.mu.Lock()
 	for id := uint32(0); int(id) < r.cfg.N; id++ {
-		if r.cl.Replica(id) == nil {
+		if r.cl.Replica(id) == nil && !r.cl.Zombie(id) {
 			r.opts.Logf("chaos: restart r%d (horizon)", id)
 			_ = r.cl.Restart(id)
 		}
@@ -503,7 +526,9 @@ func (r *run) caughtUp(target timeline.Order) bool {
 }
 
 func (r *run) exemptLocked(id uint32) bool {
-	return r.cfg.Protocol == config.MinBFT
+	// Zombies are permanently down by design (their rejoin was refused);
+	// demanding catch-up from them would fail every durable run.
+	return r.cfg.Protocol == config.MinBFT || r.cl.Zombie(id)
 }
 
 func (r *run) lagReport(target timeline.Order) string {
@@ -554,6 +579,7 @@ func (r *run) result() *Result {
 		}
 	}
 	sort.Slice(res.Restarted, func(i, j int) bool { return res.Restarted[i] < res.Restarted[j] })
+	res.Zombies = r.cl.Zombies()
 	for _, f := range r.faulty {
 		s := f.Stats()
 		res.Faults.Sent += s.Sent

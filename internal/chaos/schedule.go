@@ -39,11 +39,17 @@ func (r LinkFault) matches(from, to uint32) bool {
 
 // CrashEvent schedules a fail-stop crash of one replica followed by a
 // restart (a Downtime of 0 or beyond the horizon means no restart
-// before the heal phase).
+// before the heal phase). When the harness runs with a data root the
+// restart is a cold restart — recovery from sealed counters and the
+// write-ahead log. Amnesia additionally wipes the replica's data
+// directory before the restart: a durable replica must then be refused
+// (zombie) and stays down for the rest of the run. Without a data root
+// Amnesia degrades to a plain restart.
 type CrashEvent struct {
 	Replica  uint32
 	At       time.Duration // offset from schedule start
 	Downtime time.Duration // how long the replica stays down
+	Amnesia  bool          // wipe the data dir before restarting
 }
 
 // PartitionEvent schedules a two-node partition window.
@@ -85,7 +91,11 @@ func (p Plan) String() string {
 			from, to, l.Drop, l.Duplicate, l.Corrupt, l.Reorder, l.DelayProb, l.DelayMax)
 	}
 	for _, c := range p.Crashes {
-		fmt.Fprintf(&b, " crash(r%d at=%v down=%v)", c.Replica, c.At, c.Downtime)
+		amn := ""
+		if c.Amnesia {
+			amn = " amnesia"
+		}
+		fmt.Fprintf(&b, " crash(r%d at=%v down=%v%s)", c.Replica, c.At, c.Downtime, amn)
 	}
 	for _, pt := range p.Partitions {
 		fmt.Fprintf(&b, " partition(%d↔%d at=%v heal=%v)", pt.A, pt.B, pt.At, pt.Heal)
@@ -205,5 +215,12 @@ func Generate(seed int64, n int, horizon time.Duration) Plan {
 	pAt := time.Duration(float64(horizon) * (0.3 + rng.Float64()*0.1))
 	pHeal := pAt + time.Duration(float64(horizon)*(0.15+rng.Float64()*0.15))
 	p.Partitions = []PartitionEvent{{A: a, B: b, At: pAt, Heal: pHeal}}
+
+	// One run in four schedules amnesia for the crash victim: on a
+	// durable harness the wiped replica must come back as a refused
+	// zombie, exercising the rollback defense; the group (sized for
+	// f=1) stays live without it. The draw is appended last so plans
+	// for pre-existing seeds keep their link/crash/partition shape.
+	p.Crashes[0].Amnesia = rng.Float64() < 0.25
 	return p
 }

@@ -6,6 +6,8 @@ package cluster
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"hybster/internal/client"
@@ -28,10 +30,19 @@ type Replica interface {
 	LastExecuted() timeline.Order
 }
 
-// Factory builds one replica engine attached to the given endpoint.
-// Each replica runs on its own enclave platform, as it would on its
-// own machine.
-type Factory func(cfg config.Config, id uint32, ep transport.Endpoint, platform *enclave.Platform) (Replica, error)
+// NodeEnv is the per-replica "machine" a factory builds an engine on:
+// the enclave platform (the CPU and its trusted hardware — it survives
+// every restart) and the data directory (the disk — it survives a cold
+// restart but not amnesia). DataDir is empty when the cluster runs
+// volatile (no Options.DataRoot).
+type NodeEnv struct {
+	Platform *enclave.Platform
+	DataDir  string
+}
+
+// Factory builds one replica engine attached to the given endpoint and
+// machine environment.
+type Factory func(cfg config.Config, id uint32, ep transport.Endpoint, env NodeEnv) (Replica, error)
 
 // Cluster is one in-process replica group.
 type Cluster struct {
@@ -41,8 +52,10 @@ type Cluster struct {
 	factory   Factory
 	wrap      func(id uint32, ep transport.Endpoint) transport.Endpoint
 	platforms []*enclave.Platform
+	dataDirs  []string // per replica; empty = volatile
 	replicas  []Replica
 	crashed   []bool
+	zombie    []bool
 
 	nextClient uint32
 }
@@ -60,6 +73,11 @@ type Options struct {
 	// it is handed to the factory (fault injection hooks in here).
 	// Client endpoints are not wrapped.
 	WrapEndpoint func(id uint32, ep transport.Endpoint) transport.Endpoint
+	// DataRoot, when set, gives every replica a persistent data
+	// directory (DataRoot/replica-<id>) that survives Restart — a cold
+	// restart recovers sealed counters and the write-ahead log from it.
+	// Empty means volatile replicas (the pre-durability behavior).
+	DataRoot string
 }
 
 // New boots a cluster with replicas produced by factory.
@@ -73,15 +91,25 @@ func New(opts Options, factory Factory) (*Cluster, error) {
 		factory:    factory,
 		wrap:       opts.WrapEndpoint,
 		platforms:  make([]*enclave.Platform, opts.Config.N),
+		dataDirs:   make([]string, opts.Config.N),
 		replicas:   make([]Replica, opts.Config.N),
 		crashed:    make([]bool, opts.Config.N),
+		zombie:     make([]bool, opts.Config.N),
 		nextClient: crypto.ClientIDBase,
 	}
 	for id := uint32(0); int(id) < opts.Config.N; id++ {
 		ep := c.endpoint(id)
 		platform := enclave.NewPlatform(fmt.Sprintf("replica-%d", id))
 		c.platforms[id] = platform
-		r, err := factory(opts.Config, id, ep, platform)
+		if opts.DataRoot != "" {
+			dir := filepath.Join(opts.DataRoot, fmt.Sprintf("replica-%d", id))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				c.Stop()
+				return nil, fmt.Errorf("cluster: data dir for replica %d: %w", id, err)
+			}
+			c.dataDirs[id] = dir
+		}
+		r, err := factory(opts.Config, id, ep, c.env(id))
 		if err != nil {
 			c.Stop()
 			return nil, err
@@ -104,17 +132,26 @@ func (c *Cluster) endpoint(id uint32) transport.Endpoint {
 	return ep
 }
 
+// env assembles replica id's machine environment.
+func (c *Cluster) env(id uint32) NodeEnv {
+	return NodeEnv{Platform: c.platforms[id], DataDir: c.dataDirs[id]}
+}
+
+// DataDir returns replica id's data directory ("" when volatile).
+func (c *Cluster) DataDir(id uint32) string { return c.dataDirs[id] }
+
 // NewHybster boots a Hybster cluster (HybsterS or HybsterX depending
 // on cfg.Pillars) running the applications produced by newApp.
 func NewHybster(opts Options, newApp func() statemachine.Application) (*Cluster, error) {
-	return New(opts, func(cfg config.Config, id uint32, ep transport.Endpoint, platform *enclave.Platform) (Replica, error) {
+	return New(opts, func(cfg config.Config, id uint32, ep transport.Endpoint, env NodeEnv) (Replica, error) {
 		return core.New(core.Options{
 			Config:      cfg,
 			ID:          id,
 			Endpoint:    ep,
 			Application: newApp(),
-			Platform:    platform,
+			Platform:    env.Platform,
 			EnclaveCost: opts.EnclaveCost,
+			DataDir:     env.DataDir,
 		})
 	})
 }
@@ -122,13 +159,13 @@ func NewHybster(opts Options, newApp func() statemachine.Application) (*Cluster,
 // NewPBFT boots a PBFTcop or HybridPBFT cluster depending on
 // cfg.Protocol.
 func NewPBFT(opts Options, newApp func() statemachine.Application) (*Cluster, error) {
-	return New(opts, func(cfg config.Config, id uint32, ep transport.Endpoint, platform *enclave.Platform) (Replica, error) {
+	return New(opts, func(cfg config.Config, id uint32, ep transport.Endpoint, env NodeEnv) (Replica, error) {
 		return pbft.New(pbft.Options{
 			Config:      cfg,
 			ID:          id,
 			Endpoint:    ep,
 			Application: newApp(),
-			Platform:    platform,
+			Platform:    env.Platform,
 			EnclaveCost: opts.EnclaveCost,
 		})
 	})
@@ -136,13 +173,13 @@ func NewPBFT(opts Options, newApp func() statemachine.Application) (*Cluster, er
 
 // NewMinBFT boots a MinBFT cluster.
 func NewMinBFT(opts Options, newApp func() statemachine.Application) (*Cluster, error) {
-	return New(opts, func(cfg config.Config, id uint32, ep transport.Endpoint, platform *enclave.Platform) (Replica, error) {
+	return New(opts, func(cfg config.Config, id uint32, ep transport.Endpoint, env NodeEnv) (Replica, error) {
 		return minbft.New(minbft.Options{
 			Config:      cfg,
 			ID:          id,
 			Endpoint:    ep,
 			Application: newApp(),
-			Platform:    platform,
+			Platform:    env.Platform,
 			EnclaveCost: opts.EnclaveCost,
 		})
 	})
@@ -184,23 +221,71 @@ func (c *Cluster) Crash(id uint32) {
 // endpoint replaces the dead registration, and a new engine instance is
 // built by the cluster's factory on the replica's original enclave
 // platform (the trusted subsystem survives the host crash, as SGX
-// state sealed to the platform would). The restarted engine starts
-// from an empty application state and must catch up via the
-// protocol's own state transfer.
+// state sealed to the platform would). With a data root this is a COLD
+// restart: memory is lost but the disk survives, so the engine resumes
+// from sealed counters and the write-ahead log. Without one it starts
+// from empty state and must catch up via state transfer. If the
+// factory refuses to boot (e.g. trinx.ErrStaleSeal on a rolled-back
+// seal), the replica stays down and isolated.
 func (c *Cluster) Restart(id uint32) error {
 	if !c.crashed[id] {
 		return fmt.Errorf("cluster: replica %d is not crashed", id)
 	}
 	c.Net.HealNode(id)
 	ep := c.endpoint(id)
-	r, err := c.factory(c.Cfg, id, ep, c.platforms[id])
+	r, err := c.factory(c.Cfg, id, ep, c.env(id))
 	if err != nil {
+		c.Net.Isolate(id)
 		return fmt.Errorf("cluster: restart replica %d: %w", id, err)
 	}
 	c.replicas[id] = r
 	c.crashed[id] = false
+	c.zombie[id] = false
 	r.Start()
 	return nil
+}
+
+// RestartAmnesia wipes replica id's data directory before restarting,
+// simulating total disk loss (or an operator restoring the wrong
+// backup). A durable replica MUST refuse to come back: its platform's
+// monotonic seal register proves counter state existed that the disk
+// no longer holds, so resuming fresh could let it re-certify old
+// counter values — the classic restart-equivocation attack. The
+// returned error wraps trinx.ErrAmnesia and the replica is recorded as
+// a zombie: permanently down, exempt from liveness checks. Volatile
+// replicas (no data root) have nothing to lose and restart normally.
+func (c *Cluster) RestartAmnesia(id uint32) error {
+	if !c.crashed[id] {
+		return fmt.Errorf("cluster: replica %d is not crashed", id)
+	}
+	if dir := c.dataDirs[id]; dir != "" {
+		if err := os.RemoveAll(dir); err != nil {
+			return fmt.Errorf("cluster: wipe replica %d data: %w", id, err)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("cluster: recreate replica %d data: %w", id, err)
+		}
+	}
+	if err := c.Restart(id); err != nil {
+		c.zombie[id] = true
+		return err
+	}
+	return nil
+}
+
+// Zombie reports whether replica id tried to rejoin and was refused
+// (amnesia or rolled-back seal) and is now permanently down.
+func (c *Cluster) Zombie(id uint32) bool { return c.zombie[id] }
+
+// Zombies lists all refused replicas.
+func (c *Cluster) Zombies() []uint32 {
+	var out []uint32
+	for id, z := range c.zombie {
+		if z {
+			out = append(out, uint32(id))
+		}
+	}
+	return out
 }
 
 // Hijack stops replica id and hands its network identity to the

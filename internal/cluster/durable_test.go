@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hybster/internal/apps/counter"
+	"hybster/internal/config"
+	"hybster/internal/statemachine"
+	"hybster/internal/timeline"
+	"hybster/internal/trinx"
+)
+
+func durableConfig() config.Config {
+	return config.Config{
+		Protocol:           config.HybsterS,
+		N:                  3,
+		Pillars:            1,
+		BatchSize:          8,
+		CheckpointInterval: 8,
+		WindowSize:         32,
+		ViewChangeTimeout:  300 * time.Millisecond,
+		KeySeed:            "durable-test",
+	}
+}
+
+func newDurableCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewHybster(Options{
+		Config:   durableConfig(),
+		DataRoot: t.TempDir(),
+	}, func() statemachine.Application {
+		return counter.New()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func commitN(t *testing.T, c *Cluster, n int) {
+	t.Helper()
+	cl, err := c.NewClient(500 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < n; i++ {
+		if _, err := cl.Invoke([]byte{1}, false); err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+	}
+}
+
+// TestColdRestartRecoversFromDisk pins the durable crash-recovery
+// path: a replica with a data directory that crashes past a checkpoint
+// comes back already holding its pre-crash execution state (recovered
+// from the sealed counters and the write-ahead log), then catches the
+// rest up via state transfer. A volatile restart would come back at
+// order 0 — the assertion right after Restart distinguishes the two.
+func TestColdRestartRecoversFromDisk(t *testing.T) {
+	c := newDurableCluster(t)
+
+	commitN(t, c, 12) // past the first checkpoint (interval 8)
+	preCrash := c.replicas[1].LastExecuted()
+	if preCrash < 8 {
+		t.Fatalf("replica 1 only executed %d before crash; want >= 8", preCrash)
+	}
+	c.Crash(1)
+	commitN(t, c, 12) // the group moves on without it
+
+	if err := c.Restart(1); err != nil {
+		t.Fatalf("cold restart: %v", err)
+	}
+	// Before any new traffic reaches it, the replica must already hold
+	// its WAL tail — disk recovery, not state transfer, put it there.
+	if got := c.replicas[1].LastExecuted(); got < 8 {
+		t.Fatalf("replica 1 at order %d right after cold restart; want >= 8 (recovered from disk)", got)
+	}
+
+	// And it still rejoins the live frontier.
+	target := c.replicas[0].LastExecuted()
+	deadline := time.Now().Add(15 * time.Second)
+	for c.replicas[1].LastExecuted() < target {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica 1 stuck at %d, cluster at %d",
+				c.replicas[1].LastExecuted(), target)
+		}
+		commitN(t, c, 2)
+	}
+}
+
+// TestAmnesiaZombieRefused pins the zombie defense: a replica whose
+// data directory is wiped between crash and restart must be refused
+// (its platform's monotonic seal register proves counter state
+// existed), recorded as a zombie, and the remaining group must keep
+// committing without it.
+func TestAmnesiaZombieRefused(t *testing.T) {
+	c := newDurableCluster(t)
+
+	commitN(t, c, 12)
+	c.Crash(1)
+
+	err := c.RestartAmnesia(1)
+	if !errors.Is(err, trinx.ErrAmnesia) {
+		t.Fatalf("amnesia restart returned %v; want trinx.ErrAmnesia", err)
+	}
+	if !c.Zombie(1) {
+		t.Fatal("refused replica not marked zombie")
+	}
+	if got := c.Zombies(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Zombies() = %v; want [1]", got)
+	}
+	if c.Replica(1) != nil {
+		t.Fatal("zombie listed as live")
+	}
+	// A later plain restart must fail the same way: the register still
+	// outlives the (now empty) disk.
+	if err := c.Restart(1); !errors.Is(err, trinx.ErrAmnesia) {
+		t.Fatalf("plain restart after amnesia returned %v; want trinx.ErrAmnesia", err)
+	}
+
+	// f=1, N=3: the group stays live with the zombie down (crashed
+	// replicas are skipped by WaitExecuted).
+	commitN(t, c, 8)
+	if err := c.WaitExecuted(timeline.Order(16), 10*time.Second); err != nil {
+		t.Fatalf("group lost liveness with zombie down: %v", err)
+	}
+}
+
+// TestStaleSealRefused pins the rollback defense at cluster level: an
+// operator restoring an old backup of the seal directory (a snapshot
+// from an earlier crash) must not get the replica back — the platform
+// register is ahead of the restored blobs, so boot fails with
+// trinx.ErrStaleSeal, a distinct error from amnesia.
+func TestStaleSealRefused(t *testing.T) {
+	c := newDurableCluster(t)
+
+	commitN(t, c, 12)
+	c.Crash(1) // clean stop seals exact counters (seq S1)
+
+	sealDir := filepath.Join(c.DataDir(1), "seal")
+	backup := t.TempDir()
+	if err := copyDir(sealDir, backup); err != nil {
+		t.Fatalf("backup seal dir: %v", err)
+	}
+
+	if err := c.Restart(1); err != nil {
+		t.Fatalf("first cold restart: %v", err)
+	}
+	commitN(t, c, 12)
+	c.Crash(1) // seals again (seq S2 > S1)
+
+	// "Restore the backup": roll the seal blobs back to S1.
+	if err := os.RemoveAll(sealDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := copyDir(backup, sealDir); err != nil {
+		t.Fatalf("restore backup: %v", err)
+	}
+
+	err := c.Restart(1)
+	if !errors.Is(err, trinx.ErrStaleSeal) {
+		t.Fatalf("restart on rolled-back seal returned %v; want trinx.ErrStaleSeal", err)
+	}
+	if errors.Is(err, trinx.ErrAmnesia) {
+		t.Fatal("rollback misreported as amnesia")
+	}
+	if c.Replica(1) != nil {
+		t.Fatal("refused replica listed as live")
+	}
+
+	// The rest of the group is unaffected.
+	commitN(t, c, 8)
+}
+
+func copyDir(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -113,3 +113,100 @@ func TestTCPClusterLeaderCrash(t *testing.T) {
 		}
 	}
 }
+
+// TestTCPClientFailoverMidStream kills the leader while several
+// clients have requests in flight over real TCP sockets. Every
+// outstanding invocation must still complete: the clients' retransmit
+// path re-broadcasts timed-out requests, the survivors view-change,
+// and the new leader orders the retries. No invocation may be lost or
+// erred — the failover must be invisible above the client API.
+func TestTCPClientFailoverMidStream(t *testing.T) {
+	cfg := restartConfig()
+	addrs := freePorts(t, cfg.N)
+
+	eps := make([]*transport.TCPEndpoint, cfg.N)
+	engines := make([]Replica, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		peers := make(map[uint32]string)
+		for j, a := range addrs {
+			if j != i {
+				peers[uint32(j)] = a
+			}
+		}
+		ep, err := transport.NewTCP(uint32(i), addrs[i], peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+		eng, err := core.New(core.Options{
+			Config:      cfg,
+			ID:          uint32(i),
+			Endpoint:    ep,
+			Application: counter.New(),
+			Platform:    enclave.NewPlatform(fmt.Sprintf("failover-%d", i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = eng
+		eng.Start()
+	}
+	defer func() {
+		for i := range engines {
+			if engines[i] != nil {
+				engines[i].Stop()
+				eps[i].Close()
+			}
+		}
+	}()
+
+	const streams, perStream = 4, 15
+	errs := make(chan error, streams)
+	started := make(chan struct{}, streams)
+	for s := 0; s < streams; s++ {
+		go func(k uint32) {
+			cid := crypto.ClientIDBase + k
+			cep, err := transport.NewTCP(cid, "127.0.0.1:0", nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for j, a := range addrs {
+				cep.AddPeer(uint32(j), a)
+			}
+			cl, err := client.New(client.Options{
+				Config: cfg, ID: cid, Endpoint: cep, Timeout: 400 * time.Millisecond,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < perStream; i++ {
+				if i == 2 {
+					started <- struct{}{} // stream is provably mid-flight
+				}
+				if _, err := cl.Invoke([]byte{1}, false); err != nil {
+					errs <- fmt.Errorf("stream %d op %d: %w", k, i, err)
+					return
+				}
+			}
+			errs <- nil
+		}(uint32(200 + s))
+	}
+
+	// Wait until every stream has committed a couple of requests, then
+	// kill the leader with the rest still in flight.
+	for s := 0; s < streams; s++ {
+		<-started
+	}
+	engines[0].Stop()
+	eps[0].Close()
+	engines[0], eps[0] = nil, nil
+
+	for s := 0; s < streams; s++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"hybster/internal/message"
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
-	"hybster/internal/trinx"
 )
 
 // Events delivered to the coordinator mailbox.
@@ -48,7 +47,7 @@ type stableCkpt struct {
 // is a single event loop; all fields below are confined to it.
 type coordinator struct {
 	e     *Engine
-	tx    *trinx.TrInX
+	tx    Certifier
 	inbox *cop.Mailbox[any]
 
 	curView      timeline.View
@@ -56,6 +55,16 @@ type coordinator struct {
 	pendingTo    timeline.View
 	pendingSince time.Time
 	desired      timeline.View // highest view we have evidence for
+	// vcBackoff counts consecutive pending-view timeouts without
+	// execution progress; the effective timeout doubles with each one.
+	// Without the backoff, two crash survivors under message loss chase
+	// each other's pending views in lockstep forever: each NEW-VIEW
+	// arrives after the follower's constant-rate timer has already
+	// aborted past its view, so it is acknowledged but never installed.
+	vcBackoff uint
+	// lastExecSeen tracks execution progress between ticks to reset the
+	// backoff once the configuration orders again.
+	lastExecSeen timeline.Order
 
 	lastStable stableCkpt
 	candidates map[timeline.Order]evCkptCandidate
@@ -87,13 +96,27 @@ func (c *coordinator) tickInterval() time.Duration {
 	return c.e.cfg.ViewChangeTimeout / 4
 }
 
+// viewTimeout is the current view-change patience: the configured
+// timeout doubled per consecutive fruitless abort, capped at 8x. The
+// exponential backoff lets a reduced group dwell in a pending view
+// long enough for retransmitted VIEW-CHANGEs and the NEW-VIEW to make
+// the round trip even under loss (the paper's liveness argument
+// assumes eventually-sufficient timeouts).
+func (c *coordinator) viewTimeout() time.Duration {
+	shift := c.vcBackoff
+	if shift > 3 {
+		shift = 3
+	}
+	return c.e.cfg.ViewChangeTimeout << shift
+}
+
 // gapDelay is how long execution may stall on an unproposed order
 // before its proposer fills it with a no-op.
 func (c *coordinator) gapDelay() time.Duration {
 	return c.e.cfg.ViewChangeTimeout / 8
 }
 
-func newCoordinator(e *Engine, tx *trinx.TrInX) *coordinator {
+func newCoordinator(e *Engine, tx Certifier) *coordinator {
 	return &coordinator{
 		e:          e,
 		tx:         tx,
@@ -192,6 +215,7 @@ func (c *coordinator) handleStable(s *checkpoint.Stable[*message.Checkpoint]) {
 		st.snapshot, st.rv = cand.snapshot, cand.rv
 	}
 	c.lastStable = st
+	c.e.logCheckpoint(st)
 	for o := range c.candidates {
 		if o <= s.Order {
 			delete(c.candidates, o)
@@ -260,6 +284,7 @@ func (c *coordinator) handleStateReply(rep *message.StateReply) {
 			order: rep.CkptOrder, digest: digest, proof: rep.Proof,
 			snapshot: rep.Snapshot, rv: rep.ReplyVector,
 		}
+		c.e.logCheckpoint(c.lastStable)
 		for _, p := range c.e.pillars {
 			p.inbox.Put(evAdvance{order: rep.CkptOrder})
 		}
@@ -277,6 +302,20 @@ func (c *coordinator) handleTick() {
 	}
 	now := c.e.now()
 	ps := c.e.pendingSince.Load()
+	if exec := c.e.exec.lastExecuted(); exec > c.lastExecSeen {
+		// The configuration orders again: suspicion resets.
+		c.lastExecSeen = exec
+		c.vcBackoff = 0
+	}
+	if c.lastStable.order > c.e.exec.lastExecuted() {
+		// We adopted a stable checkpoint beyond what local execution can
+		// reach (the decisions below it are gone from the group's logs).
+		// State transfer is the only way forward; keep retrying — the
+		// one-shot requests issued at adoption time can be lost, and no
+		// further event would re-trigger them. maybeRequestState
+		// rate-limits the actual traffic.
+		c.maybeRequestState()
+	}
 
 	if !c.pending {
 		// Watchdog: outstanding work without execution progress for a
@@ -289,9 +328,11 @@ func (c *coordinator) handleTick() {
 			c.e.seq.proposeNoop(c.curView, c.e.exec.nextNeeded())
 		}
 	} else {
-		if now.Sub(c.pendingSince) > c.e.cfg.ViewChangeTimeout {
-			// The pending view did not stabilize in time.
+		if now.Sub(c.pendingSince) > c.viewTimeout() {
+			// The pending view did not stabilize in time; escalate with
+			// exponentially growing patience.
 			c.pendingSince = now
+			c.vcBackoff++
 			c.bumpDesired(c.pendingTo + 1)
 		}
 		// Retransmit our VIEW-CHANGE parts.
@@ -368,6 +409,18 @@ func (c *coordinator) tryAdvanceView() {
 			}
 			if !c.haveVCQuorum(c.pendingTo) {
 				return // certificate rule: cannot leave pendingTo yet
+			}
+			// Leader dwell rule: with a quorum aborted into the view we
+			// lead, emit its NEW-VIEW instead of stepping over it. In a
+			// reduced group (N−f live) quorums only assemble after the
+			// pending timeout has already raised desired, so without
+			// this the whole group chases view numbers in lockstep and
+			// no view ever installs.
+			if c.e.cfg.LeaderOf(c.pendingTo) == c.e.id {
+				c.maybeEmitNewView(c.pendingTo)
+				if !c.pending {
+					continue // installed; re-evaluate from the new view
+				}
 			}
 			c.mergeLearnedFromVCs(c.pendingTo)
 			target = c.pendingTo + 1
@@ -500,6 +553,18 @@ func (c *coordinator) handleViewChange(from uint32, vc *message.ViewChange) {
 	if err := c.e.verifyViewChangePart(c.tx, vc); err != nil {
 		return
 	}
+	if vc.From < c.curView {
+		// The sender abandons views it never established: its From lags
+		// our installed view even though its To is ahead. Until it
+		// acknowledges our view, no later NEW-VIEW can satisfy the From
+		// rule (§5.2.3 needs f+1 confirmations of the maximum From), so
+		// a single lost NEW-VIEW or ack would wedge the view change
+		// forever. Re-send the NEW-VIEW we hold; receiving it makes the
+		// peer emit (or re-emit) its acknowledgment.
+		for _, nv := range c.lastNV {
+			_ = c.e.ep.Send(from, nv)
+		}
+	}
 	c.storeVCPart(from, vc)
 
 	// Join rule: f+1 distinct replicas moving to a higher view prove
@@ -516,7 +581,12 @@ func (c *coordinator) handleViewChange(from uint32, vc *message.ViewChange) {
 
 // handleNewViewAck ingests an acknowledgment part.
 func (c *coordinator) handleNewViewAck(from uint32, a *message.NewViewAck) {
-	if a.Replica != from || a.View <= c.curView {
+	if a.Replica != from || a.View < c.curView {
+		// Acks for views below ours are dead evidence — any NEW-VIEW we
+		// emit carries our own VC with From == curView, so the From rule
+		// never needs them. Acks for curView itself stay relevant: they
+		// are precisely the f+1 confirmations a future view we lead must
+		// present (§5.2.3).
 		return
 	}
 	if err := c.e.verifyNewViewAckPart(c.tx, a); err != nil {

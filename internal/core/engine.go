@@ -33,7 +33,6 @@ import (
 	"hybster/internal/statemachine"
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
-	"hybster/internal/trinx"
 )
 
 // Trusted counter IDs within each pillar's TrInX instance.
@@ -62,6 +61,16 @@ type Options struct {
 	Platform *enclave.Platform
 	// EnclaveCost is the simulated SGX cost model for TrInX calls.
 	EnclaveCost enclave.CostModel
+	// DataDir, when non-empty, enables durable crash-recovery: trusted
+	// counters are sealed to DataDir/seal with a monotonic horizon and
+	// committed decisions plus stable checkpoints land in a write-ahead
+	// log under DataDir/wal. On boot the engine restores the sealed
+	// counters, installs the last stable checkpoint, and replays the
+	// decision tail before fetching the rest via state transfer. New
+	// fails with trinx.ErrStaleSeal on a rolled-back seal and
+	// trinx.ErrAmnesia when the seal register proves state the disk no
+	// longer holds.
+	DataDir string
 	// Now optionally overrides the time source (tests).
 	Now func() time.Time
 }
@@ -78,6 +87,7 @@ type Engine struct {
 	exec    *execLoop
 	coord   *coordinator
 	seq     *sequencer
+	dur     *durability // nil without a data dir
 
 	// curView mirrors the coordinator's stable view for lock-free
 	// reads on hot paths.
@@ -108,15 +118,43 @@ func New(opts Options) (*Engine, error) {
 		now:     opts.Now,
 		stopped: make(chan struct{}),
 	}
+	if opts.DataDir != "" {
+		dur, err := openDurability(opts.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		e.dur = dur
+	}
 	e.exec = newExecLoop(e, opts.Application)
-	e.coord = newCoordinator(e, trinx.New(opts.Platform,
-		trinx.MakeInstanceID(opts.ID, coordinatorPillar), numCounters, key, opts.EnclaveCost))
+	coordTx, err := e.newCertifier(opts, coordinatorPillar, key)
+	if err != nil {
+		if e.dur != nil {
+			_ = e.dur.log.Close()
+		}
+		return nil, err
+	}
+	e.coord = newCoordinator(e, coordTx)
 	e.pillars = make([]*pillar, opts.Config.Pillars)
 	for u := range e.pillars {
-		tx := trinx.New(opts.Platform, trinx.MakeInstanceID(opts.ID, uint32(u)), numCounters, key, opts.EnclaveCost)
+		tx, err := e.newCertifier(opts, uint32(u), key)
+		if err != nil {
+			coordTx.Destroy()
+			for _, p := range e.pillars {
+				if p != nil {
+					p.tx.Destroy()
+				}
+			}
+			if e.dur != nil {
+				_ = e.dur.log.Close()
+			}
+			return nil, err
+		}
 		e.pillars[u] = newPillar(e, uint32(u), tx)
 	}
 	e.seq = newSequencer(e)
+	if e.dur != nil {
+		e.restore()
+	}
 	return e, nil
 }
 
@@ -157,6 +195,7 @@ func (e *Engine) Stop() {
 		e.exec.inbox.Close()
 		e.coord.inbox.Close()
 		e.wg.Wait()
+		e.shutdownDurability()
 		for _, p := range e.pillars {
 			p.tx.Destroy()
 		}

@@ -344,8 +344,11 @@ func (c *coordinator) reassemble(w timeline.View, parts []*message.NewView) (map
 }
 
 // sendAcks multicasts per-pillar NEW-VIEW-ACKs for view w carrying the
-// prepares learned from its NEW-VIEW.
+// prepares learned from its NEW-VIEW, and retains them locally:
+// Multicast skips self, but our own acknowledgment is From-rule
+// evidence we may need when we later lead a view ourselves.
 func (c *coordinator) sendAcks(w timeline.View, newPreps [][]*message.Prepare) {
+	own := make([]*message.NewViewAck, len(c.e.pillars))
 	for u := range c.e.pillars {
 		ack := &message.NewViewAck{Replica: c.e.id, Pillar: uint32(u), View: w, Prepares: newPreps[u]}
 		cert, err := c.tx.CreateTrustedMAC(counterM, ack.Digest())
@@ -353,8 +356,15 @@ func (c *coordinator) sendAcks(w timeline.View, newPreps [][]*message.Prepare) {
 			return
 		}
 		ack.Cert = cert
+		own[u] = ack
 		transport.Multicast(c.e.ep, c.e.cfg.N, ack)
 	}
+	byReplica, ok := c.acks[w]
+	if !ok {
+		byReplica = make(map[uint32][]*message.NewViewAck)
+		c.acks[w] = byReplica
+	}
+	byReplica[c.e.id] = own
 }
 
 // installNewView makes view w stable: updates coordinator and engine
@@ -365,9 +375,12 @@ func (c *coordinator) installNewView(w timeline.View, startCkpt timeline.Order, 
 	c.e.curView.Store(uint64(w))
 	c.pending = false
 	c.pendingTo = 0
-	if c.desired < w {
-		c.desired = w
-	}
+	// Reset suspicion to the installed view: any desire for a higher
+	// view was evidence of pre-w stuckness, now obsolete. If w is stuck
+	// too, the watchdog and the join rule re-raise it. Without the
+	// clamp a replica that installs w while desired is already w+1
+	// abandons the fresh view before it can order anything.
+	c.desired = w
 
 	// Adopt the new-view checkpoint if it is ahead of ours; the proof
 	// comes from any VC that declared it.
@@ -406,7 +419,10 @@ func (c *coordinator) installNewView(w timeline.View, startCkpt timeline.Order, 
 		}
 	}
 	for v := range c.acks {
-		if v <= w {
+		// Keep acks for w itself: they confirm the view we just
+		// installed as properly established, which the From rule of the
+		// next view we lead will demand.
+		if v < w {
 			delete(c.acks, v)
 		}
 	}

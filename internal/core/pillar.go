@@ -6,7 +6,6 @@ import (
 	"hybster/internal/message"
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
-	"hybster/internal/trinx"
 )
 
 // Events delivered to pillar mailboxes (besides inbound protocol
@@ -77,7 +76,7 @@ type reProposal struct {
 type pillar struct {
 	e     *Engine
 	idx   uint32
-	tx    *trinx.TrInX
+	tx    Certifier
 	inbox *cop.Mailbox[any]
 
 	view    timeline.View
@@ -105,7 +104,7 @@ type pillar struct {
 // package for brevity.
 type window = orderWindow
 
-func newPillar(e *Engine, idx uint32, tx *trinx.TrInX) *pillar {
+func newPillar(e *Engine, idx uint32, tx Certifier) *pillar {
 	p := &pillar{
 		e:            e,
 		idx:          idx,
@@ -301,6 +300,7 @@ func (p *pillar) maybeDeliver(s *slot) {
 		return
 	}
 	s.Executed = true
+	p.e.logDecision(s.Prepare.View, s.Order, s.Prepare.Requests)
 	p.e.exec.inbox.Put(evExec{order: s.Order, batch: s.Prepare.Requests})
 	if s.Prepare.Cert.Issuer.Replica() == p.e.id {
 		p.e.seq.credit(p.idx)

@@ -42,7 +42,7 @@ var (
 // counter certificate with the predefined value [view|order] issued by
 // the TrInX instance of the responsible pillar, and every request in
 // the batch must carry a valid client authenticator.
-func (e *Engine) verifyPrepare(tx *trinx.TrInX, m *message.Prepare, from uint32) error {
+func (e *Engine) verifyPrepare(tx Certifier, m *message.Prepare, from uint32) error {
 	proposer := e.cfg.ProposerOf(m.View, m.Order)
 	if from != proposer {
 		return errBadSender
@@ -63,7 +63,7 @@ func (e *Engine) verifyPrepare(tx *trinx.TrInX, m *message.Prepare, from uint32)
 // sender is no longer available and the proposer may be either the
 // rotation proposer of the prepare's view or that view's leader (the
 // leader re-proposes all transferred instances in its NEW-VIEW).
-func (e *Engine) verifyEmbeddedPrepare(tx *trinx.TrInX, m *message.Prepare) error {
+func (e *Engine) verifyEmbeddedPrepare(tx Certifier, m *message.Prepare) error {
 	rot := e.cfg.ProposerOf(m.View, m.Order)
 	ld := e.cfg.LeaderOf(m.View)
 	issuer := m.Cert.Issuer.Replica()
@@ -73,7 +73,7 @@ func (e *Engine) verifyEmbeddedPrepare(tx *trinx.TrInX, m *message.Prepare) erro
 	return e.verifyPrepareEmbedded(tx, m, issuer)
 }
 
-func (e *Engine) verifyPrepareEmbedded(tx *trinx.TrInX, m *message.Prepare, proposer uint32) error {
+func (e *Engine) verifyPrepareEmbedded(tx Certifier, m *message.Prepare, proposer uint32) error {
 	pillar := e.cfg.PillarOf(m.Order) % uint32(len(e.pillars))
 	if m.Cert.Kind != trinx.Independent {
 		return errBadKind
@@ -88,7 +88,7 @@ func (e *Engine) verifyPrepareEmbedded(tx *trinx.TrInX, m *message.Prepare, prop
 }
 
 // verifyCommit validates a follower acknowledgment analogously.
-func (e *Engine) verifyCommit(tx *trinx.TrInX, m *message.Commit) error {
+func (e *Engine) verifyCommit(tx Certifier, m *message.Commit) error {
 	pillar := e.cfg.PillarOf(m.Order) % uint32(len(e.pillars))
 	if m.Cert.Kind != trinx.Independent {
 		return errBadKind
@@ -105,7 +105,7 @@ func (e *Engine) verifyCommit(tx *trinx.TrInX, m *message.Commit) error {
 // verifyCheckpoint validates a checkpoint announcement: a trusted MAC
 // (continuing certificate with value == previous value) from the
 // announcing replica (§5.2.2).
-func (e *Engine) verifyCheckpoint(tx *trinx.TrInX, m *message.Checkpoint) error {
+func (e *Engine) verifyCheckpoint(tx Certifier, m *message.Checkpoint) error {
 	if m.Cert.Kind != trinx.Continuing || m.Cert.Value != m.Cert.Prev {
 		return errBadKind
 	}
@@ -118,7 +118,7 @@ func (e *Engine) verifyCheckpoint(tx *trinx.TrInX, m *message.Checkpoint) error 
 // verifyCheckpointProof validates a quorum certificate K for a
 // checkpoint: quorum many valid announcements from distinct replicas,
 // all with the claimed order and digest.
-func (e *Engine) verifyCheckpointProof(tx *trinx.TrInX, o timeline.Order, d crypto.Digest, proof []*message.Checkpoint) error {
+func (e *Engine) verifyCheckpointProof(tx Certifier, o timeline.Order, d crypto.Digest, proof []*message.Checkpoint) error {
 	if o == 0 {
 		return nil // genesis checkpoint needs no proof
 	}
@@ -144,7 +144,7 @@ func (e *Engine) verifyCheckpointProof(tx *trinx.TrInX, o timeline.Order, d cryp
 // certificate's previous value proves participation up to o_act in the
 // aborted view, a prepare must be disclosed for every class order in
 // (ckpt, o_act].
-func (e *Engine) verifyViewChangePart(tx *trinx.TrInX, vc *message.ViewChange) error {
+func (e *Engine) verifyViewChangePart(tx Certifier, vc *message.ViewChange) error {
 	if vc.To <= vc.From {
 		return fmt.Errorf("core: view-change to %d from %d", vc.To, vc.From)
 	}
@@ -197,7 +197,7 @@ func (e *Engine) verifyViewChangePart(tx *trinx.TrInX, vc *message.ViewChange) e
 
 // verifyNewViewAckPart validates one pillar part of a NEW-VIEW-ACK: a
 // trusted MAC plus valid embedded prepares of the acknowledged view.
-func (e *Engine) verifyNewViewAckPart(tx *trinx.TrInX, a *message.NewViewAck) error {
+func (e *Engine) verifyNewViewAckPart(tx Certifier, a *message.NewViewAck) error {
 	if a.Cert.Kind != trinx.Continuing || a.Cert.Value != a.Cert.Prev {
 		return errBadKind
 	}

@@ -26,6 +26,8 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +40,11 @@ var (
 	ErrDestroyed    = errors.New("enclave: destroyed")
 	ErrSealCorrupt  = errors.New("enclave: sealed blob corrupt or tampered")
 	ErrSealReplayed = errors.New("enclave: sealed blob from an old epoch (rollback attempt)")
+	// ErrSealRolledBack is returned when a blob authenticates correctly
+	// but carries a seal sequence older than the platform's monotonic
+	// register for this enclave: someone restored a stale copy of the
+	// sealed state (the classic rollback attack on sealed storage).
+	ErrSealRolledBack = errors.New("enclave: sealed blob superseded by a newer seal (rollback attempt)")
 )
 
 // CostModel describes the simulated overhead of crossing the trust
@@ -79,11 +86,26 @@ type Platform struct {
 
 	mu       sync.Mutex
 	enclaves int
+	// sealSeq is the per-enclave monotonic seal-sequence register: the
+	// simulation of the SGX platform's hardware monotonic counters.
+	// Every Seal bumps the issuing enclave's register; Unseal refuses
+	// blobs whose embedded sequence is below the register, which is how
+	// a restored-from-backup (rolled back) seal is detected. The
+	// register lives on the Platform — machine hardware — so it
+	// survives process crashes that wipe both enclave memory and disk.
+	sealSeq map[string]uint64
+	// store, when set, write-through persists the seal registers so
+	// multi-process deployments keep rollback protection across real
+	// process restarts (the file stands in for the hardware NVM).
+	store string
 }
 
 // NewPlatform creates a platform with a sealing key derived from seed.
 func NewPlatform(seed string) *Platform {
-	return &Platform{sealKey: crypto.NewKeyFromSeed("platform-seal:" + seed)}
+	return &Platform{
+		sealKey: crypto.NewKeyFromSeed("platform-seal:" + seed),
+		sealSeq: make(map[string]uint64),
+	}
 }
 
 // Epoch returns the current rollback-protection epoch.
@@ -92,6 +114,26 @@ func (p *Platform) Epoch() uint64 { return p.epoch.Load() }
 // AdvanceEpoch invalidates all previously sealed blobs, e.g. after a
 // suspected rollback attack or administrative reset.
 func (p *Platform) AdvanceEpoch() uint64 { return p.epoch.Add(1) }
+
+// SealSeq returns the platform's monotonic seal-sequence register for
+// the named enclave (0 = that enclave never sealed). Protocol recovery
+// code uses it to distinguish a genuinely fresh node from an amnesiac
+// one whose sealed state went missing.
+func (p *Platform) SealSeq(name string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sealSeq[name]
+}
+
+// nextSealSeq advances and returns the register for name.
+func (p *Platform) nextSealSeq(name string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sealSeq[name]++
+	seq := p.sealSeq[name]
+	p.persistRegistersLocked()
+	return seq
+}
 
 // EnclaveCount returns the number of live enclaves on the platform.
 func (p *Platform) EnclaveCount() int {
@@ -199,14 +241,19 @@ func (e *Enclave) ECall(fn func(state any) (any, error)) (any, error) {
 	return fn(st)
 }
 
-// sealOverhead is the nonce plus epoch header prepended to sealed blobs.
+// sealNonceSize is the AEAD nonce length; the full seal header is
+// epoch (8) | sequence (8) | nonce (12).
 const sealNonceSize = 12
 
+const sealHeaderSize = 16 + sealNonceSize
+
 // Seal encrypts and authenticates data under the platform sealing key,
-// binding it to this enclave's identity and the current platform epoch.
+// binding it to this enclave's identity, the current platform epoch,
+// and a fresh monotonic seal sequence drawn from the platform register.
 // The result can be stored outside the enclave and later restored with
-// Unseal; restoring after the epoch advanced fails, which models SGX's
-// defense against state-rollback (replay) attacks assumed in §5.1.
+// Unseal; restoring after the epoch advanced, or restoring any blob
+// older than the newest seal, fails — which models SGX's defense
+// against state-rollback (replay) attacks assumed in §5.1.
 func (e *Enclave) Seal(data []byte) ([]byte, error) {
 	aead, err := e.aead()
 	if err != nil {
@@ -217,22 +264,26 @@ func (e *Enclave) Seal(data []byte) ([]byte, error) {
 		return nil, fmt.Errorf("enclave: seal nonce: %w", err)
 	}
 	epoch := e.core.platform.Epoch()
-	aad := sealAAD(e.core.name, epoch)
-	blob := make([]byte, 8+sealNonceSize, 8+sealNonceSize+len(data)+aead.Overhead())
+	seq := e.core.platform.nextSealSeq(e.core.name)
+	aad := sealAAD(e.core.name, epoch, seq)
+	blob := make([]byte, 16+sealNonceSize, sealHeaderSize+len(data)+aead.Overhead())
 	copy(blob[:8], crypto.U64(epoch))
-	copy(blob[8:], nonce)
+	copy(blob[8:16], crypto.U64(seq))
+	copy(blob[16:], nonce)
 	return aead.Seal(blob, nonce, data, aad), nil
 }
 
 // Unseal decrypts a blob produced by Seal. It fails if the blob was
-// tampered with, sealed by a different enclave identity, or sealed
-// during an earlier platform epoch.
+// tampered with, sealed by a different enclave identity, sealed during
+// an earlier platform epoch, or superseded by a newer seal of the same
+// enclave (ErrSealRolledBack — the stale blob is authentic but
+// restoring it would regress the sealed state).
 func (e *Enclave) Unseal(blob []byte) ([]byte, error) {
-	if len(blob) < 8+sealNonceSize {
+	if len(blob) < sealHeaderSize {
 		return nil, ErrSealCorrupt
 	}
-	epoch := uint64(blob[0])<<56 | uint64(blob[1])<<48 | uint64(blob[2])<<40 | uint64(blob[3])<<32 |
-		uint64(blob[4])<<24 | uint64(blob[5])<<16 | uint64(blob[6])<<8 | uint64(blob[7])
+	epoch := beU64(blob[:8])
+	seq := beU64(blob[8:16])
 	if epoch != e.core.platform.Epoch() {
 		return nil, ErrSealReplayed
 	}
@@ -240,12 +291,27 @@ func (e *Enclave) Unseal(blob []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	nonce := blob[8 : 8+sealNonceSize]
-	data, err := aead.Open(nil, nonce, blob[8+sealNonceSize:], sealAAD(e.core.name, epoch))
+	nonce := blob[16:sealHeaderSize]
+	data, err := aead.Open(nil, nonce, blob[sealHeaderSize:], sealAAD(e.core.name, epoch, seq))
 	if err != nil {
 		return nil, ErrSealCorrupt
 	}
+	// Authenticity established; now enforce freshness against the
+	// platform's monotonic register. A sequence above the register is
+	// impossible for an honest platform and treated as corruption.
+	latest := e.core.platform.SealSeq(e.core.name)
+	if seq < latest {
+		return nil, fmt.Errorf("%w: blob seq %d, register %d", ErrSealRolledBack, seq, latest)
+	}
+	if seq > latest {
+		return nil, ErrSealCorrupt
+	}
 	return data, nil
+}
+
+func beU64(b []byte) uint64 {
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
 }
 
 func (e *Enclave) aead() (cipher.AEAD, error) {
@@ -259,9 +325,110 @@ func (e *Enclave) aead() (cipher.AEAD, error) {
 	return cipher.NewGCM(block)
 }
 
-func sealAAD(name string, epoch uint64) []byte {
-	aad := make([]byte, 0, len(name)+8)
+func sealAAD(name string, epoch, seq uint64) []byte {
+	aad := make([]byte, 0, len(name)+16)
 	aad = append(aad, name...)
 	aad = append(aad, crypto.U64(epoch)...)
+	aad = append(aad, crypto.U64(seq)...)
 	return aad
+}
+
+// --- seal-register persistence -------------------------------------------
+
+// BindStore attaches a backing file to the platform's seal registers,
+// standing in for the rollback-protected NVM real monotonic counters
+// live in. Existing register state in the file is loaded (merged by
+// maximum, so in-memory registers never regress) and every subsequent
+// register bump is written through synchronously. The file is MAC'd
+// under the platform sealing key; a tampered file is rejected.
+func (p *Platform) BindStore(path string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if data, err := os.ReadFile(path); err == nil {
+		regs, err := p.decodeRegisters(data)
+		if err != nil {
+			return err
+		}
+		for name, seq := range regs {
+			if seq > p.sealSeq[name] {
+				p.sealSeq[name] = seq
+			}
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("enclave: seal register store: %w", err)
+	}
+	p.store = path
+	return p.persistRegistersLocked()
+}
+
+// persistRegistersLocked writes the registers through to the store, if
+// one is bound. Called with p.mu held.
+func (p *Platform) persistRegistersLocked() error {
+	if p.store == "" {
+		return nil
+	}
+	names := make([]string, 0, len(p.sealSeq))
+	for n := range p.sealSeq {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	body := make([]byte, 0, 64*len(names))
+	body = append(body, crypto.U32(uint32(len(names)))...)
+	for _, n := range names {
+		body = append(body, crypto.U32(uint32(len(n)))...)
+		body = append(body, n...)
+		body = append(body, crypto.U64(p.sealSeq[n])...)
+	}
+	mac := p.sealKey.SumParts([]byte("seal-registers"), body)
+	tmp := p.store + ".tmp"
+	if err := os.WriteFile(tmp, append(body, mac[:]...), 0o600); err != nil {
+		return fmt.Errorf("enclave: seal register store: %w", err)
+	}
+	if err := os.Rename(tmp, p.store); err != nil {
+		return fmt.Errorf("enclave: seal register store: %w", err)
+	}
+	return nil
+}
+
+// decodeRegisters parses and authenticates a register store file.
+func (p *Platform) decodeRegisters(data []byte) (map[string]uint64, error) {
+	if len(data) < 4+32 {
+		return nil, ErrSealCorrupt
+	}
+	body, mac := data[:len(data)-32], data[len(data)-32:]
+	want := p.sealKey.SumParts([]byte("seal-registers"), body)
+	if !hmacEqual(want[:], mac) {
+		return nil, fmt.Errorf("%w: seal register store MAC", ErrSealCorrupt)
+	}
+	n := int(beU64(append([]byte{0, 0, 0, 0}, body[:4]...)))
+	body = body[4:]
+	regs := make(map[string]uint64, n)
+	for i := 0; i < n; i++ {
+		if len(body) < 4 {
+			return nil, ErrSealCorrupt
+		}
+		l := int(body[0])<<24 | int(body[1])<<16 | int(body[2])<<8 | int(body[3])
+		body = body[4:]
+		if l < 0 || len(body) < l+8 {
+			return nil, ErrSealCorrupt
+		}
+		name := string(body[:l])
+		regs[name] = beU64(body[l : l+8])
+		body = body[l+8:]
+	}
+	if len(body) != 0 {
+		return nil, ErrSealCorrupt
+	}
+	return regs, nil
+}
+
+func hmacEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var v byte
+	for i := range a {
+		v |= a[i] ^ b[i]
+	}
+	return v == 0
 }

@@ -2,14 +2,69 @@ package message
 
 import (
 	"bytes"
+	"math"
 	"testing"
+
+	"hybster/internal/crypto"
+	"hybster/internal/timeline"
 )
+
+// viewChangeSeeds are seeds shaped like the view-change and
+// checkpointing protocols actually on the wire: empty and deeply
+// nested certificate sets, zero-length batches, multi-pillar NEW-VIEWs
+// with acknowledgments, and boundary order/view values. Byte-level
+// mutation reaches these decode paths far faster when the corpus
+// starts inside them.
+func viewChangeSeeds() []Message {
+	deepVC := sampleViewChange(11)
+	deepVC.Prepares = []*Prepare{samplePrepare(1), samplePrepare(2), samplePrepare(3)}
+	deepVC.CkptProof = []*Checkpoint{
+		sampleCheckpoint(1), sampleCheckpoint(2), sampleCheckpoint(3),
+	}
+	emptyVC := &ViewChange{Replica: 1, Pillar: 0, From: 0, To: 1, Cert: sampleCert(1)}
+	maxVC := &ViewChange{
+		Replica: math.MaxUint32, Pillar: math.MaxUint32,
+		From: timeline.View(math.MaxUint64), To: timeline.View(math.MaxUint64),
+		CkptOrder: timeline.Order(math.MaxUint64),
+		Cert:      sampleCert(3),
+	}
+	emptyBatch := &Prepare{View: 1, Order: 2, Requests: []*Request{}, Cert: sampleCert(4)}
+	return []Message{
+		deepVC,
+		emptyVC,
+		maxVC,
+		emptyBatch,
+		&Checkpoint{Order: 0, Replica: 0, Cert: sampleCert(5)},
+		&Checkpoint{
+			Order: timeline.Order(math.MaxUint64), Replica: math.MaxUint32,
+			StateDigest: crypto.Hash([]byte("edge")), Cert: sampleCert(6),
+		},
+		&NewView{View: 1, Pillar: 0, Cert: sampleCert(7)}, // no VCs, acks, prepares
+		&NewView{
+			View: timeline.View(math.MaxUint64), Pillar: 3,
+			VCs: []*ViewChange{emptyVC, deepVC, maxVC},
+			Acks: []*NewViewAck{
+				{Replica: 0, Pillar: 0, View: 1, Cert: sampleCert(8)},
+				{Replica: 2, Pillar: 1, View: 2, Prepares: []*Prepare{emptyBatch}, Cert: sampleCert(9)},
+			},
+			Prepares: []*Prepare{samplePrepare(4), emptyBatch},
+			Cert:     sampleCert(10),
+		},
+		&NewViewAck{
+			Replica: math.MaxUint32, Pillar: 2, View: timeline.View(math.MaxUint64),
+			Prepares: []*Prepare{samplePrepare(5)}, Cert: sampleCert(11),
+		},
+	}
+}
 
 // FuzzUnmarshal feeds arbitrary bytes into the wire decoder. The
 // decoder must never panic, and any message it does accept must
 // re-encode and re-decode stably (round-trip closure).
 func FuzzUnmarshal(f *testing.F) {
 	for _, m := range allMessages() {
+		f.Add(Marshal(m))
+	}
+	for _, m := range viewChangeSeeds() {
 		f.Add(Marshal(m))
 	}
 	f.Add([]byte{})
@@ -28,6 +83,63 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 		if !bytes.Equal(re, Marshal(m2)) {
 			t.Fatalf("marshal not stable after round trip")
+		}
+	})
+}
+
+// FuzzViewChangeRoundtrip builds structurally valid VIEW-CHANGE and
+// NEW-VIEW messages from fuzz-controlled field values and requires an
+// exact wire round trip. Unlike byte-level fuzzing, this drives the
+// *encoder* into corners (huge counts are clamped to keep memory
+// bounded, but boundary scalars pass through untouched).
+func FuzzViewChangeRoundtrip(f *testing.F) {
+	f.Add(uint32(1), uint32(0), uint64(3), uint64(4), uint64(100), uint(2), uint(1), false)
+	f.Add(uint32(0), uint32(7), uint64(0), uint64(0), uint64(0), uint(0), uint(0), true)
+	f.Add(uint32(math.MaxUint32), uint32(3), uint64(math.MaxUint64), uint64(math.MaxUint64),
+		uint64(math.MaxUint64), uint(5), uint(3), true)
+
+	f.Fuzz(func(t *testing.T, replica, pillar uint32, from, to, ckpt uint64,
+		nPreps, nProof uint, wrapNV bool) {
+		if nPreps > 8 {
+			nPreps = 8
+		}
+		if nProof > 8 {
+			nProof = 8
+		}
+		// The wire format packs views and orders into bounded fields;
+		// the decoder rejects anything wider, so a *valid* message must
+		// stay inside them.
+		from %= uint64(timeline.MaxView) + 1
+		to %= uint64(timeline.MaxView) + 1
+		ckpt %= uint64(timeline.MaxOrder) + 1
+		vc := &ViewChange{
+			Replica: replica, Pillar: pillar,
+			From: timeline.View(from), To: timeline.View(to),
+			CkptOrder: timeline.Order(ckpt), CkptDigest: crypto.Hash([]byte{byte(ckpt)}),
+			Cert: sampleCert(from ^ to),
+		}
+		for i := uint(0); i < nProof; i++ {
+			vc.CkptProof = append(vc.CkptProof, sampleCheckpoint(int(i)))
+		}
+		for i := uint(0); i < nPreps; i++ {
+			vc.Prepares = append(vc.Prepares, samplePrepare(int(i)))
+		}
+		var m Message = vc
+		if wrapNV {
+			m = &NewView{
+				View: timeline.View(to), Pillar: pillar,
+				VCs:  []*ViewChange{vc},
+				Acks: []*NewViewAck{{Replica: replica, Pillar: pillar, View: timeline.View(from), Cert: sampleCert(to)}},
+				Cert: sampleCert(from + to),
+			}
+		}
+		buf := Marshal(m)
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("decode of valid %T failed: %v", m, err)
+		}
+		if !bytes.Equal(buf, Marshal(got)) {
+			t.Fatalf("wire form not stable for %T", m)
 		}
 	})
 }

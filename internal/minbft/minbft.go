@@ -18,6 +18,8 @@
 package minbft
 
 import (
+	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -97,10 +99,15 @@ type Engine struct {
 	pendingTo    timeline.View
 	pendingSince time.Time
 	reqSent      timeline.View
-	reqVCs       map[timeline.View]map[uint32]bool
-	vcs          map[timeline.View]map[uint32]*message.MinViewChange
-	nvDone       map[timeline.View]bool
-	ownVC        *message.MinViewChange
+	// vcBackoff counts consecutive suspicion timeouts without progress;
+	// it widens the timeout exponentially (capped) so two stalled
+	// replicas stop chasing each other through view numbers in
+	// lockstep, and it drives target escalation past lost requests.
+	vcBackoff uint
+	reqVCs    map[timeline.View]map[uint32]bool
+	vcs       map[timeline.View]map[uint32]*message.MinViewChange
+	nvDone    map[timeline.View]bool
+	ownVC     *message.MinViewChange
 	// history of sent UI-consuming messages since the last stable
 	// checkpoint (§4.4's unbounded state).
 	sentLog  []sentEntry
@@ -129,6 +136,21 @@ type Engine struct {
 	histLenSnapshot int
 
 	suspects atomic.Uint64 // leader-timeout events (diagnostics)
+
+	// seenMAC[r] is a bounded ring of the UI MACs accepted from replica
+	// r, keyed by counter value. A replay carries the exact MAC we
+	// already processed; a *different* MAC under an old counter value is
+	// cryptographic proof the sender's USIG issued one counter twice —
+	// i.e. it restarted with regressed trusted state (paper §4.4's
+	// rejoin gap). Confined to the run goroutine.
+	seenMAC map[uint32]map[uint64]crypto.MAC
+	// zombies marks senders convicted of counter regression; all their
+	// traffic is refused from then on. Confined to the run goroutine;
+	// the mirror set below serves concurrent readers.
+	zombies map[uint32]bool
+
+	zombieMu  sync.Mutex
+	zombieSet map[uint32]bool
 
 	stopOnce sync.Once
 	stopTick chan struct{}
@@ -172,6 +194,9 @@ func New(opts Options) (*Engine, error) {
 		orderByCounter: make(map[uint64]timeline.Order),
 		anchorOrder:    1,
 		anchorCounter:  1,
+		seenMAC:        make(map[uint32]map[uint64]crypto.MAC),
+		zombies:        make(map[uint32]bool),
+		zombieSet:      make(map[uint32]bool),
 	}
 	e.exec = newExecLoop(e, opts.Application)
 	for r := uint32(0); int(r) < opts.Config.N; r++ {
@@ -188,6 +213,35 @@ func (e *Engine) LastExecuted() timeline.Order { return e.exec.lastExecuted() }
 
 // Suspects returns how often the leader was suspected (diagnostics).
 func (e *Engine) Suspects() uint64 { return e.suspects.Load() }
+
+// ErrCounterRegression reports that a peer presented a valid UI whose
+// counter value was already consumed by a different message — proof it
+// restarted without its USIG state (the rejoin gap of paper §4.4).
+var ErrCounterRegression = errors.New("minbft: trusted counter regression detected (replica rejoined without its USIG state)")
+
+// Zombies returns the replicas this engine convicted of counter
+// regression, in ascending order.
+func (e *Engine) Zombies() []uint32 {
+	e.zombieMu.Lock()
+	defer e.zombieMu.Unlock()
+	out := make([]uint32, 0, len(e.zombieSet))
+	for r := range e.zombieSet {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ZombieErr returns ErrCounterRegression if replica r was convicted of
+// counter regression, nil otherwise.
+func (e *Engine) ZombieErr(r uint32) error {
+	e.zombieMu.Lock()
+	defer e.zombieMu.Unlock()
+	if e.zombieSet[r] {
+		return ErrCounterRegression
+	}
+	return nil
+}
 
 // Start launches the replica.
 func (e *Engine) Start() {
@@ -262,6 +316,7 @@ func (e *Engine) run() {
 				e.pendingSince = time.Now()
 			} else {
 				e.pendingSince = time.Time{}
+				e.vcBackoff = 0 // execution progressed; suspicions start fresh
 			}
 		case evTick:
 			e.handleTick()
@@ -283,6 +338,20 @@ func (e *Engine) ingest(from uint32, ui usig.UI, m message.Message) {
 	if ui.Issuer != from {
 		return
 	}
+	if e.zombies[from] {
+		return // convicted of counter regression; refuse everything
+	}
+	if from != e.id {
+		// Verify the UI before the counter stream consumes it. A
+		// corrupted message must not burn its counter slot (the genuine
+		// retransmission would then be dropped as a replay), and its
+		// MAC must not enter seenMAC — a mangled MAC recorded there
+		// would frame the honest sender as a counter-regressed zombie
+		// the moment the genuine copy arrives and verifies.
+		if d, ok := uiPayloadDigest(m); !ok || e.sig.VerifyUI(ui, d) != nil {
+			return
+		}
+	}
 	if from == e.id {
 		// Own messages are produced in counter order by construction,
 		// but not every own message is self-ingested (commits and
@@ -297,7 +366,17 @@ func (e *Engine) ingest(from uint32, ui usig.UI, m message.Message) {
 	want := e.expected[from]
 	switch {
 	case ui.Counter < want:
-		return // replay
+		// Replays re-present the exact message (same counter, same
+		// MAC). A different MAC under an already-consumed counter means
+		// the sender's USIG signed two messages with one value — a
+		// restart with regressed trusted state. Verify the UI before
+		// convicting so a forged MAC cannot frame a correct sender.
+		if prev, ok := e.seenMAC[from][ui.Counter]; ok && prev != ui.MAC {
+			if d, ok := uiPayloadDigest(m); ok && e.sig.VerifyUI(ui, d) == nil {
+				e.markZombie(from)
+			}
+		}
+		return
 	case ui.Counter > want:
 		hb := e.holdback[from]
 		if hb == nil {
@@ -310,6 +389,7 @@ func (e *Engine) ingest(from uint32, ui usig.UI, m message.Message) {
 		}
 		return
 	}
+	e.recordSeen(from, ui)
 	e.process(from, m)
 	e.expected[from] = want + 1
 	// Drain consecutive held-back messages.
@@ -319,9 +399,70 @@ func (e *Engine) ingest(from uint32, ui usig.UI, m message.Message) {
 			return
 		}
 		delete(e.holdback[from], e.expected[from])
+		if nui, ok := msgUI(next); ok {
+			e.recordSeen(from, nui)
+		}
 		e.process(from, next)
 		e.expected[from]++
 	}
+}
+
+// recordSeen remembers the MAC accepted under a counter value, bounded
+// to the holdback horizon so the ring cannot grow without limit.
+func (e *Engine) recordSeen(from uint32, ui usig.UI) {
+	ring := e.seenMAC[from]
+	if ring == nil {
+		ring = make(map[uint64]crypto.MAC)
+		e.seenMAC[from] = ring
+	}
+	ring[ui.Counter] = ui.MAC
+	bound := 4 * uint64(e.cfg.WindowSize)
+	if ui.Counter > bound {
+		delete(ring, ui.Counter-bound)
+	}
+}
+
+// markZombie convicts a sender of trusted-counter regression: its
+// traffic is refused from now on and the conviction is visible through
+// Zombies() / ZombieErr().
+func (e *Engine) markZombie(from uint32) {
+	if e.zombies[from] {
+		return
+	}
+	e.zombies[from] = true
+	e.zombieMu.Lock()
+	e.zombieSet[from] = true
+	e.zombieMu.Unlock()
+}
+
+// uiPayloadDigest returns the digest a message's UI certifies.
+func uiPayloadDigest(m message.Message) (crypto.Digest, bool) {
+	switch v := m.(type) {
+	case *message.MinPrepare:
+		return v.Digest(), true
+	case *message.MinCommit:
+		return v.Digest(), true
+	case *message.MinViewChange:
+		return v.Digest(), true
+	case *message.MinNewView:
+		return v.Digest(), true
+	}
+	return crypto.Digest{}, false
+}
+
+// msgUI extracts the UI carried by a UI-consuming message.
+func msgUI(m message.Message) (usig.UI, bool) {
+	switch v := m.(type) {
+	case *message.MinPrepare:
+		return v.UI, true
+	case *message.MinCommit:
+		return v.UI, true
+	case *message.MinViewChange:
+		return v.UI, true
+	case *message.MinNewView:
+		return v.UI, true
+	}
+	return usig.UI{}, false
 }
 
 func (e *Engine) process(from uint32, m message.Message) {

@@ -100,21 +100,56 @@ func (e *Engine) handleTick() {
 		}
 	}
 	if !e.pending {
-		if !ps.IsZero() && now.Sub(ps) > e.cfg.ViewChangeTimeout {
+		if !ps.IsZero() && now.Sub(ps) > e.suspicionTimeout() {
 			e.suspects.Add(1)
-			e.sendReqViewChange(e.view + 1)
+			e.vcBackoff++
+			e.escalateReqViewChange(e.view + 1)
 			e.pendingSince = now
 		}
 	} else {
-		if now.Sub(ps) > e.cfg.ViewChangeTimeout {
+		if now.Sub(ps) > e.suspicionTimeout() {
 			e.pendingSince = now
-			e.sendReqViewChange(e.pendingTo + 1)
+			e.vcBackoff++
+			e.escalateReqViewChange(e.pendingTo + 1)
 		}
 		// Retransmit our own VIEW-CHANGE while the view is pending.
 		if vc := e.ownVC; vc != nil {
 			transport.Multicast(e.ep, e.cfg.N, vc)
 		}
 	}
+}
+
+// suspicionTimeout is the view-change timeout widened exponentially by
+// consecutive fruitless suspicions (reset on install), so repeated
+// elections decorrelate instead of racing in lockstep.
+func (e *Engine) suspicionTimeout() time.Duration {
+	shift := e.vcBackoff
+	if shift > 3 {
+		shift = 3
+	}
+	return e.cfg.ViewChangeTimeout << shift
+}
+
+// escalateReqViewChange voices suspicion for target on a timeout.
+// sendReqViewChange is one-shot per target (reqSent is monotonic), so
+// a replica whose single REQ-VIEW-CHANGE multicast was lost could
+// otherwise never utter another word of suspicion: each later timeout
+// would re-request the same view and be dropped by the reqSent guard —
+// a permanent wedge. When the target is new, request it; when it was
+// already requested, re-multicast the standing request instead.
+// Retransmission is safe and cheap — REQ-VIEW-CHANGE consumes no USIG
+// counter and receivers record requesters in a set — and deliberately
+// does NOT walk the view number forward: every extra election round
+// compounds the next VIEW-CHANGE's embedded history (§4.4), so rounds
+// are opened only when a new target is actually justified.
+func (e *Engine) escalateReqViewChange(target timeline.View) {
+	if target > e.reqSent {
+		e.sendReqViewChange(target)
+		return
+	}
+	req := &message.MinReqViewChange{Replica: e.id, View: e.reqSent}
+	req.Auth = crypto.NewAuthenticator(e.ks, req.Digest(), e.cfg.N)
+	transport.Multicast(e.ep, e.cfg.N, req)
 }
 
 // noteWorkLocked marks outstanding work for the watchdog (run loop
@@ -483,6 +518,7 @@ func (e *Engine) install(v timeline.View, startCkpt timeline.Order, batches [][]
 	}
 	e.ownVC = nil
 	e.pendingSince = time.Time{}
+	e.vcBackoff = 0
 
 	if leader {
 		for _, batch := range batches {

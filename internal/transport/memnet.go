@@ -29,6 +29,7 @@ type LinkProfile struct {
 type Network struct {
 	profile LinkProfile
 	seed    int64
+	done    chan struct{} // closed by Close; unblocks senders and link goroutines
 
 	mu         sync.RWMutex
 	nodes      map[uint32]*memEndpoint
@@ -43,6 +44,7 @@ func NewNetwork(profile LinkProfile, seed int64) *Network {
 	return &Network{
 		profile:    profile,
 		seed:       seed,
+		done:       make(chan struct{}),
 		nodes:      make(map[uint32]*memEndpoint),
 		links:      make(map[[2]uint32]*link),
 		partitions: make(map[[2]uint32]bool),
@@ -133,7 +135,9 @@ func (n *Network) HealAll() {
 	n.mu.Unlock()
 }
 
-// Close shuts the network down; all link goroutines drain and exit.
+// Close shuts the network down; all link goroutines and blocked
+// senders observe the done channel and exit. Link channels are never
+// closed — a send racing Close must fail cleanly, not panic.
 func (n *Network) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -141,12 +145,9 @@ func (n *Network) Close() {
 		return
 	}
 	n.closed = true
-	links := n.links
 	n.links = make(map[[2]uint32]*link)
 	n.mu.Unlock()
-	for _, l := range links {
-		close(l.ch)
-	}
+	close(n.done)
 }
 
 // getLink returns (creating if necessary) the FIFO link src→dst.
@@ -180,7 +181,13 @@ func (n *Network) getLink(src, dst uint32) (*link, error) {
 // delivers to the destination handler in FIFO order.
 func (n *Network) runLink(l *link) {
 	rng := rand.New(rand.NewSource(n.seed ^ int64(l.src)<<32 ^ int64(l.dst)))
-	for m := range l.ch {
+	for {
+		var m message.Message
+		select {
+		case m = <-l.ch:
+		case <-n.done:
+			return
+		}
 		if n.profile.LossRate > 0 && rng.Float64() < n.profile.LossRate {
 			continue
 		}
@@ -246,13 +253,12 @@ func (ep *memEndpoint) Send(to uint32, m message.Message) error {
 	if err != nil {
 		return err
 	}
-	defer func() {
-		// A concurrent Network.Close can close the link channel while
-		// we block on it; treat the resulting panic as a drop.
-		_ = recover()
-	}()
-	l.ch <- m
-	return nil
+	select {
+	case l.ch <- m:
+		return nil
+	case <-n.done:
+		return ErrClosed
+	}
 }
 
 // Close implements Endpoint.

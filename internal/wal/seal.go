@@ -1,0 +1,101 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// ErrNoSeal is returned by SealStore.Load when no blob exists under the
+// given name. Callers distinguish "first boot" (no seal expected) from
+// "amnesia" (the platform's seal register says one should exist).
+var ErrNoSeal = errors.New("wal: no sealed blob")
+
+// SealStore persists sealed enclave blobs atomically. Each Save writes
+// a temp file, fsyncs it, renames it over the target, and fsyncs the
+// directory, so a crash at any point leaves either the old blob or the
+// new one — never a torn mix.
+type SealStore struct {
+	dir string
+}
+
+// NewSealStore opens (creating if necessary) a seal store rooted at dir.
+func NewSealStore(dir string) (*SealStore, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("wal: seal store: %w", err)
+	}
+	return &SealStore{dir: dir}, nil
+}
+
+func (s *SealStore) path(name string) string {
+	return filepath.Join(s.dir, name+".seal")
+}
+
+// Save atomically persists blob under name.
+func (s *SealStore) Save(name string, blob []byte) error {
+	tmp, err := os.CreateTemp(s.dir, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("wal: seal store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: seal store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: seal store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: seal store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(name)); err != nil {
+		return fmt.Errorf("wal: seal store: %w", err)
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// Load returns the blob saved under name, or ErrNoSeal if none exists.
+func (s *SealStore) Load(name string) ([]byte, error) {
+	b, err := os.ReadFile(s.path(name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNoSeal, name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: seal store: %w", err)
+	}
+	return b, nil
+}
+
+// SaveSeal implements trinx.SealSink.
+func (s *SealStore) SaveSeal(name string, blob []byte) error {
+	return s.Save(name, blob)
+}
+
+// LoadSeal implements trinx.SealSink: a missing blob is ok=false, not
+// an error.
+func (s *SealStore) LoadSeal(name string) ([]byte, bool, error) {
+	b, err := s.Load(name)
+	if errors.Is(err, ErrNoSeal) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+// Remove deletes the blob saved under name (used by tests to simulate
+// disk loss). Removing a missing blob is not an error.
+func (s *SealStore) Remove(name string) error {
+	if err := os.Remove(s.path(name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("wal: seal store: %w", err)
+	}
+	return nil
+}

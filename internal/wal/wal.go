@@ -1,0 +1,450 @@
+// Package wal implements the durable write-ahead log a replica needs
+// to survive a process crash with its safety guarantees intact. It has
+// two halves:
+//
+//   - Log: an append-only, CRC-framed, fsync-batched segment log of
+//     certified protocol decisions (committed batches) and stable
+//     checkpoints (with their quorum proofs and state snapshots). On
+//     recovery the newest checkpoint plus the decision tail replayed on
+//     top reconstruct execution up to the last synced instant; the rest
+//     is fetched through the protocol's normal state transfer. A stable
+//     checkpoint supersedes everything before it, so appending one
+//     rotates to a fresh segment and garbage-collects the older ones.
+//
+//   - SealStore: an atomic blob store for sealed trusted-counter state
+//     (package enclave seals, this stores). Blobs are written via
+//     temp-file + rename + fsync so a crash never leaves a torn seal.
+//
+// The log tolerates a torn tail: a truncated or corrupt final record
+// (the write the crash interrupted) is discarded; corruption in the
+// middle of a segment aborts recovery with an error, because that is
+// disk damage, not a crash artifact.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Errors returned by the log.
+var (
+	// ErrCorrupt reports CRC or structural damage before the log tail.
+	ErrCorrupt = errors.New("wal: corrupt record")
+	// ErrClosed is returned by appends after Close.
+	ErrClosed = errors.New("wal: closed")
+)
+
+// Options tune the log. The zero value selects defaults.
+type Options struct {
+	// SegmentBytes is the rotation threshold (default 4 MiB).
+	SegmentBytes int64
+	// SyncInterval batches fsyncs: appends mark the log dirty and a
+	// background flusher syncs at this cadence (default 5 ms). Zero or
+	// negative syncs on every append (slow, fully durable).
+	SyncInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// frame header: length (4) | crc32 of payload (4).
+const frameHeader = 8
+
+// maxRecordBytes bounds a single record against hostile or damaged
+// length prefixes.
+const maxRecordBytes = 128 << 20
+
+// Log is one replica's write-ahead log. All methods are safe for
+// concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File
+	seq     uint64            // active segment sequence number
+	size    int64             // bytes written to the active segment
+	segMax  map[uint64]uint64 // per segment: highest decision order it holds
+	dirty   bool
+	closed  bool
+	syncErr error
+
+	stopFlush chan struct{}
+	flushDone chan struct{}
+}
+
+// Recovered is what Open reconstructed from an existing log directory.
+type Recovered struct {
+	// Checkpoint is the newest stable checkpoint on disk, nil if none.
+	// It may lack a snapshot (stability reached before local execution
+	// did); it then proves the group's frontier but cannot seed the
+	// application state.
+	Checkpoint *CheckpointRec
+	// Base is the newest checkpoint that DOES carry a snapshot — the
+	// point execution can restart from. Equal to Checkpoint when that
+	// one has a snapshot, older or nil otherwise.
+	Base *CheckpointRec
+	// Decisions are the committed batches after Base, ascending by
+	// order, deduplicated keeping the latest append (a re-commit in a
+	// higher view supersedes the earlier decision). Only a
+	// snapshot-bearing checkpoint subsumes decisions: below a
+	// snapshot-less one they remain the sole way to rebuild state
+	// locally.
+	Decisions []DecisionRec
+}
+
+// LastOrder returns the highest order the recovered state covers.
+func (r Recovered) LastOrder() (o uint64) {
+	if r.Checkpoint != nil {
+		o = uint64(r.Checkpoint.Order)
+	}
+	for _, d := range r.Decisions {
+		if uint64(d.Order) > o {
+			o = uint64(d.Order)
+		}
+	}
+	return o
+}
+
+// Open opens (creating if necessary) the log in dir and replays its
+// contents. The returned Log appends after the recovered tail.
+func Open(dir string, opts Options) (*Log, Recovered, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, Recovered{}, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, Recovered{}, err
+	}
+	var rec Recovered
+	byOrder := make(map[uint64]DecisionRec)
+	segMax := make(map[uint64]uint64)
+	for _, s := range segs {
+		s := s
+		if err := scanSegment(filepath.Join(dir, segmentName(s)), func(payload []byte) error {
+			r, err := DecodeRecord(payload)
+			if err != nil {
+				return err
+			}
+			switch v := r.(type) {
+			case *CheckpointRec:
+				rec.Checkpoint = v
+				if v.Snapshot != nil {
+					rec.Base = v
+					for o := range byOrder {
+						if o <= uint64(v.Order) {
+							delete(byOrder, o)
+						}
+					}
+				}
+			case *DecisionRec:
+				if m, ok := segMax[s]; !ok || uint64(v.Order) > m {
+					segMax[s] = uint64(v.Order)
+				}
+				if rec.Base == nil || uint64(v.Order) > uint64(rec.Base.Order) {
+					byOrder[uint64(v.Order)] = *v
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, Recovered{}, err
+		}
+	}
+	for _, d := range byOrder {
+		rec.Decisions = append(rec.Decisions, d)
+	}
+	sort.Slice(rec.Decisions, func(i, j int) bool { return rec.Decisions[i].Order < rec.Decisions[j].Order })
+
+	l := &Log{dir: dir, opts: opts, segMax: segMax,
+		stopFlush: make(chan struct{}), flushDone: make(chan struct{})}
+	next := uint64(1)
+	if n := len(segs); n > 0 {
+		next = segs[n-1] + 1
+	}
+	if err := l.openSegment(next); err != nil {
+		return nil, Recovered{}, err
+	}
+	// Older segments stay until the next checkpoint append GCs them.
+	go l.flushLoop()
+	return l, rec, nil
+}
+
+// AppendDecision logs one committed batch. Durability is batched: the
+// record is on disk after the next sync interval (or Sync call).
+func (l *Log) AppendDecision(d *DecisionRec) error {
+	return l.append(d.encode(), uint64(d.Order), false)
+}
+
+// AppendCheckpoint logs a stable checkpoint, rotating to a fresh
+// segment first and then deleting the older segments the checkpoint
+// subsumes — those whose decisions all have order at or below the
+// checkpoint's. A segment holding a decision beyond the checkpoint is
+// kept; it will fall to a later checkpoint. The record is synced before
+// GC runs, so a crash can duplicate log prefixes but never lose the
+// checkpoint.
+//
+// A snapshot-less checkpoint (stability outran local execution) is
+// logged and synced but subsumes nothing: the decisions below it are
+// the only material a cold restart can rebuild state from, so their
+// segments survive until a checkpoint with a snapshot covers them.
+func (l *Log) AppendCheckpoint(c *CheckpointRec) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if err := l.rotateLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	keep := l.seq
+	if err := l.writeLocked(c.encode()); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if err := l.syncLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if c.Snapshot == nil {
+		l.mu.Unlock()
+		return nil
+	}
+	var drop []uint64
+	for s, maxOrder := range l.segMax {
+		if s < keep && maxOrder <= uint64(c.Order) {
+			drop = append(drop, s)
+			delete(l.segMax, s)
+		}
+	}
+	l.mu.Unlock()
+
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	dropSet := make(map[uint64]bool, len(drop))
+	for _, s := range drop {
+		dropSet[s] = true
+	}
+	for _, s := range segs {
+		// Segments never tracked in segMax hold no decisions (only
+		// superseded checkpoints); they are subsumed too.
+		if s < keep && (dropSet[s] || !l.trackedSegment(s)) {
+			_ = os.Remove(filepath.Join(l.dir, segmentName(s)))
+		}
+	}
+	return nil
+}
+
+func (l *Log) trackedSegment(s uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.segMax[s]
+	return ok
+}
+
+// Sync forces all appended records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+// Close flushes, syncs, and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	close(l.stopFlush)
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.mu.Unlock()
+	<-l.flushDone
+	return err
+}
+
+// --- internals -------------------------------------------------------------
+
+func (l *Log) append(payload []byte, order uint64, sync bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.size >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if err := l.writeLocked(payload); err != nil {
+		return err
+	}
+	if v, ok := l.segMax[l.seq]; !ok || order > v {
+		l.segMax[l.seq] = order
+	}
+	if sync || l.opts.SyncInterval <= 0 {
+		return l.syncLocked()
+	}
+	l.dirty = true
+	return nil
+}
+
+func (l *Log) writeLocked(payload []byte) error {
+	frame := make([]byte, frameHeader+len(payload))
+	putU32(frame[0:4], uint32(len(payload)))
+	putU32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+	n, err := l.f.Write(frame)
+	l.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	return nil
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.f.Sync(); err != nil {
+		l.syncErr = err
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.dirty = false
+	return nil
+}
+
+func (l *Log) rotateLocked() error {
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: rotate: %w", err)
+		}
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: rotate: %w", err)
+		}
+	}
+	return l.openSegmentLocked(l.seq + 1)
+}
+
+func (l *Log) openSegment(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.openSegmentLocked(seq)
+}
+
+func (l *Log) openSegmentLocked(seq uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(seq)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	l.f, l.seq, l.size = f, seq, st.Size()
+	return nil
+}
+
+// flushLoop batches fsyncs in the background.
+func (l *Log) flushLoop() {
+	defer close(l.flushDone)
+	iv := l.opts.SyncInterval
+	if iv <= 0 {
+		return // every append syncs inline
+	}
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.dirty {
+				_ = l.syncLocked()
+			}
+			l.mu.Unlock()
+		case <-l.stopFlush:
+			return
+		}
+	}
+}
+
+// --- segment files ----------------------------------------------------------
+
+func segmentName(seq uint64) string { return fmt.Sprintf("wal-%016d.seg", seq) }
+
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		var seq uint64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%016d.seg", &seq); err == nil {
+			segs = append(segs, seq)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// scanSegment streams every intact record payload of one segment to fn.
+// The scan stops at the first damaged frame (truncated, implausible
+// length, or CRC mismatch): a crash can only tear the tail, and for
+// mid-file disk damage the safe reaction is identical — recover the
+// prefix and let state transfer cover the rest. A frame whose CRC
+// verifies but whose payload does not decode is ErrCorrupt: that is a
+// format bug, not a crash artifact, and must surface.
+func scanSegment(path string, fn func(payload []byte) error) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeader {
+			return nil
+		}
+		n := int(getU32(rest[0:4]))
+		if n > maxRecordBytes || len(rest) < frameHeader+n {
+			return nil
+		}
+		payload := rest[frameHeader : frameHeader+n]
+		if crc32.ChecksumIEEE(payload) != getU32(rest[4:8]) {
+			return nil
+		}
+		if err := fn(payload); err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrCorrupt, filepath.Base(path), err)
+		}
+		off += frameHeader + n
+	}
+	return nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
