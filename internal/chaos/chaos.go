@@ -45,8 +45,11 @@ type Options struct {
 	// directories under it: crash+restart becomes a cold restart
 	// (recover from sealed counters and the WAL), and scheduled
 	// amnesia events become meaningful (the wiped replica must be
-	// refused as a zombie). Only Hybster protocols use the disk;
-	// others ignore it. Tests pass t.TempDir().
+	// refused as a zombie). Crashes are hard kills — no exact-value
+	// seal, no WAL flush, a torn log tail — so recovery runs against
+	// genuine kill -9 artifacts, not a graceful shutdown's. Only
+	// Hybster protocols use the disk; others ignore it. Tests pass
+	// t.TempDir().
 	DataRoot string
 	// Logf receives progress lines (optional; tests pass t.Logf).
 	Logf func(format string, args ...any)

@@ -37,10 +37,13 @@ func durablePlan(seed int64, horizon time.Duration, amnesia bool) *Plan {
 
 // TestChaosColdRestartDurable pins the acceptance scenario for durable
 // recovery: a Hybster cluster with persistent data directories runs a
-// deterministic schedule whose crash victim comes back via COLD
-// restart (sealed counters + WAL replay, not a blank slate). The run
-// must preserve the hash-chained history (safety) and resume
-// committing with the recovered replica caught up (liveness).
+// deterministic schedule whose crash victim is hard-killed (kill -9
+// semantics: no exact-value seal, no WAL flush, torn log tail) and
+// comes back via COLD restart — sealed-horizon counters + replay of
+// the durable WAL prefix, not a blank slate and not a gracefully
+// flushed one. The run must preserve the hash-chained history
+// (safety) and resume committing with the recovered replica caught up
+// (liveness).
 func TestChaosColdRestartDurable(t *testing.T) {
 	res, err := Run(Options{
 		Protocol: config.HybsterS,

@@ -30,6 +30,15 @@ type Replica interface {
 	LastExecuted() timeline.Order
 }
 
+// Killer is the optional crash-stop surface of an engine: Kill tears
+// the replica down WITHOUT the graceful-shutdown durability work (no
+// exact-counter seal, no WAL flush), leaving its disk exactly as
+// kill -9 would. Engines without it are simply Stop'd — for volatile
+// engines the two are equivalent.
+type Killer interface {
+	Kill()
+}
+
 // NodeEnv is the per-replica "machine" a factory builds an engine on:
 // the enclave platform (the CPU and its trusted hardware — it survives
 // every restart) and the data directory (the disk — it survives a cold
@@ -205,15 +214,32 @@ func (c *Cluster) NewClient(timeout time.Duration) (*client.Client, error) {
 	})
 }
 
-// Crash stops replica id and detaches it from the network, simulating
-// a fail-stop fault. The replica is marked crashed and stopped before
-// its links are cut, so no goroutine observes a half-dead replica.
-func (c *Cluster) Crash(id uint32) {
+// Crash hard-stops replica id and detaches it from the network,
+// simulating a fail-stop fault with kill -9 semantics: durable state
+// is left exactly as the crash instant finds it — no final counter
+// seal, no WAL flush, a torn log tail. A later Restart therefore
+// exercises the genuine crash-recovery path (horizon jump + tail
+// truncation), not the graceful-shutdown one; use Shutdown for the
+// latter. The replica is marked crashed and halted before its links
+// are cut, so no goroutine observes a half-dead replica.
+func (c *Cluster) Crash(id uint32) { c.halt(id, false) }
+
+// Shutdown gracefully stops replica id and detaches it from the
+// network — the SIGTERM analogue: the WAL is flushed and the exact
+// counter values sealed, so a later Restart resumes warm with no
+// horizon jump.
+func (c *Cluster) Shutdown(id uint32) { c.halt(id, true) }
+
+func (c *Cluster) halt(id uint32, graceful bool) {
 	if c.crashed[id] {
 		return
 	}
 	c.crashed[id] = true
-	c.replicas[id].Stop()
+	if k, ok := c.replicas[id].(Killer); ok && !graceful {
+		k.Kill()
+	} else {
+		c.replicas[id].Stop()
+	}
 	c.Net.Isolate(id)
 }
 

@@ -60,8 +60,12 @@ func commitN(t *testing.T, c *Cluster, n int) {
 // path: a replica with a data directory that crashes past a checkpoint
 // comes back already holding its pre-crash execution state (recovered
 // from the sealed counters and the write-ahead log), then catches the
-// rest up via state transfer. A volatile restart would come back at
-// order 0 — the assertion right after Restart distinguishes the two.
+// rest up via state transfer. Crash is a hard kill -9: no exact-value
+// seal, no WAL flush, a torn log tail — so what recovery restores here
+// is the genuinely durable state (the fsynced checkpoint plus whatever
+// decisions the sync batch made stable), with counters resuming at the
+// sealed horizon. A volatile restart would come back at order 0 — the
+// assertion right after Restart distinguishes the two.
 func TestColdRestartRecoversFromDisk(t *testing.T) {
 	c := newDurableCluster(t)
 
@@ -77,7 +81,8 @@ func TestColdRestartRecoversFromDisk(t *testing.T) {
 		t.Fatalf("cold restart: %v", err)
 	}
 	// Before any new traffic reaches it, the replica must already hold
-	// its WAL tail — disk recovery, not state transfer, put it there.
+	// at least the synced checkpoint — disk recovery, not state
+	// transfer, put it there.
 	if got := c.replicas[1].LastExecuted(); got < 8 {
 		t.Fatalf("replica 1 at order %d right after cold restart; want >= 8 (recovered from disk)", got)
 	}
@@ -91,6 +96,24 @@ func TestColdRestartRecoversFromDisk(t *testing.T) {
 				c.replicas[1].LastExecuted(), target)
 		}
 		commitN(t, c, 2)
+	}
+}
+
+// TestGracefulShutdownResumesWarm pins the other stop mode: Shutdown
+// (the SIGTERM analogue) flushes the WAL and seals exact counter
+// values, so the restarted replica resumes at its full pre-stop
+// frontier — no tail loss, unlike the hard crash above.
+func TestGracefulShutdownResumesWarm(t *testing.T) {
+	c := newDurableCluster(t)
+
+	commitN(t, c, 12)
+	pre := c.replicas[1].LastExecuted()
+	c.Shutdown(1)
+	if err := c.Restart(1); err != nil {
+		t.Fatalf("warm restart: %v", err)
+	}
+	if got := c.replicas[1].LastExecuted(); got < pre {
+		t.Fatalf("replica 1 at order %d after warm restart; want >= %d (nothing lost on graceful stop)", got, pre)
 	}
 }
 
@@ -141,7 +164,7 @@ func TestStaleSealRefused(t *testing.T) {
 	c := newDurableCluster(t)
 
 	commitN(t, c, 12)
-	c.Crash(1) // clean stop seals exact counters (seq S1)
+	c.Shutdown(1) // clean stop seals exact counters (seq S1)
 
 	sealDir := filepath.Join(c.DataDir(1), "seal")
 	backup := t.TempDir()
@@ -153,7 +176,7 @@ func TestStaleSealRefused(t *testing.T) {
 		t.Fatalf("first cold restart: %v", err)
 	}
 	commitN(t, c, 12)
-	c.Crash(1) // seals again (seq S2 > S1)
+	c.Shutdown(1) // seals again (seq S2 > S1)
 
 	// "Restore the backup": roll the seal blobs back to S1.
 	if err := os.RemoveAll(sealDir); err != nil {

@@ -184,8 +184,21 @@ func (e *Engine) Start() {
 	go func() { defer e.wg.Done(); e.coord.run() }()
 }
 
-// Stop shuts the replica down and waits for its goroutines.
-func (e *Engine) Stop() {
+// Stop shuts the replica down gracefully and waits for its goroutines:
+// the WAL is flushed and closed and the exact counter values are
+// sealed, so a subsequent boot resumes warm.
+func (e *Engine) Stop() { e.stop(true) }
+
+// Kill crash-stops the replica: goroutines are torn down (an
+// in-process harness cannot leak them), but the durable state is left
+// exactly as kill -9 would leave it — no exact-value seal, no WAL
+// flush, and the WAL's unsynced tail torn mid-frame. A cold restart
+// after Kill exercises the genuine crash-recovery path: counters
+// resume at the sealed horizon (burning the reservation) and the WAL
+// tail is truncated to its last durable frame.
+func (e *Engine) Kill() { e.stop(false) }
+
+func (e *Engine) stop(graceful bool) {
 	e.stopOnce.Do(func() {
 		close(e.stopped)
 		_ = e.ep.Close()
@@ -195,7 +208,11 @@ func (e *Engine) Stop() {
 		e.exec.inbox.Close()
 		e.coord.inbox.Close()
 		e.wg.Wait()
-		e.shutdownDurability()
+		if graceful {
+			e.shutdownDurability()
+		} else {
+			e.abandonDurability()
+		}
 		for _, p := range e.pillars {
 			p.tx.Destroy()
 		}

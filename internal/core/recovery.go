@@ -156,3 +156,14 @@ func (e *Engine) shutdownDurability() {
 	}
 	_ = e.dur.log.Close()
 }
+
+// abandonDurability is shutdownDurability's kill -9 twin, called from
+// Kill: no exact-value seal (the next boot must take the horizon
+// jump), and the WAL is abandoned with its unsynced tail torn so
+// recovery faces the same artifact a real crash leaves.
+func (e *Engine) abandonDurability() {
+	if e.dur == nil {
+		return
+	}
+	_ = e.dur.log.Abandon()
+}

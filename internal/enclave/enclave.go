@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,15 @@ var (
 	// register for this enclave: someone restored a stale copy of the
 	// sealed state (the classic rollback attack on sealed storage).
 	ErrSealRolledBack = errors.New("enclave: sealed blob superseded by a newer seal (rollback attempt)")
+	// ErrSealAhead is returned when an authentic blob carries a seal
+	// sequence more than one ahead of the platform's register: the
+	// register's backing storage was lost or regressed (it no longer
+	// reflects seals that demonstrably happened). The blob itself is the
+	// newest state, but a register that can regress cannot detect
+	// rollback, so the enclave refuses. Operator action: restore the
+	// register backing file from the machine that issued the seal, or
+	// retire this identity.
+	ErrSealAhead = errors.New("enclave: sealed blob ahead of platform seal register (register storage lost or regressed)")
 )
 
 // CostModel describes the simulated overhead of crossing the trust
@@ -94,9 +104,16 @@ type Platform struct {
 	// register lives on the Platform — machine hardware — so it
 	// survives process crashes that wipe both enclave memory and disk.
 	sealSeq map[string]uint64
-	// store, when set, write-through persists the seal registers so
-	// multi-process deployments keep rollback protection across real
-	// process restarts (the file stands in for the hardware NVM).
+	// store, when set, persists the seal registers so multi-process
+	// deployments keep rollback protection across real process restarts
+	// (the file stands in for the hardware NVM). The write-through is
+	// deferred: Seal advances only the in-memory register; the caller
+	// commits it to the store with CommitSeal AFTER the blob itself is
+	// durable. Ordering matters — persisting the register first would
+	// turn a crash between the two writes into a self-inflicted
+	// "rollback" (blob seq = register−1) that bricks an honest replica.
+	// With blob-first ordering the same crash leaves blob seq =
+	// register+1, which Unseal accepts and heals.
 	store string
 }
 
@@ -125,14 +142,29 @@ func (p *Platform) SealSeq(name string) uint64 {
 	return p.sealSeq[name]
 }
 
-// nextSealSeq advances and returns the register for name.
+// nextSealSeq advances and returns the in-memory register for name.
+// The bound store is deliberately NOT written here: the new sequence
+// only becomes the durable floor once the blob carrying it is safely
+// on disk (see CommitSeal and the store field's ordering note).
 func (p *Platform) nextSealSeq(name string) uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.sealSeq[name]++
-	seq := p.sealSeq[name]
-	p.persistRegistersLocked()
-	return seq
+	return p.sealSeq[name]
+}
+
+// healSealSeq raises the register for name to seq (never lowers it)
+// and writes the store through. Used by Unseal when it accepts a blob
+// one ahead of the register — the crash-between-blob-and-commit
+// artifact — so the accepted sequence becomes the new floor.
+func (p *Platform) healSealSeq(name string, seq uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if seq <= p.sealSeq[name] {
+		return nil
+	}
+	p.sealSeq[name] = seq
+	return p.persistRegistersLocked()
 }
 
 // EnclaveCount returns the number of live enclaves on the platform.
@@ -254,6 +286,13 @@ const sealHeaderSize = 16 + sealNonceSize
 // Unseal; restoring after the epoch advanced, or restoring any blob
 // older than the newest seal, fails — which models SGX's defense
 // against state-rollback (replay) attacks assumed in §5.1.
+//
+// When the platform's register has a backing store (BindStore), the
+// durability protocol is two-phase: write the returned blob to stable
+// storage first, then call CommitSeal to write the register through.
+// A crash anywhere in between leaves the blob exactly one sequence
+// ahead of the stored register, which Unseal accepts and heals; the
+// reverse order would misread the same crash as a rollback attack.
 func (e *Enclave) Seal(data []byte) ([]byte, error) {
 	aead, err := e.aead()
 	if err != nil {
@@ -273,11 +312,26 @@ func (e *Enclave) Seal(data []byte) ([]byte, error) {
 	return aead.Seal(blob, nonce, data, aad), nil
 }
 
+// CommitSeal writes the enclave's seal register through to the
+// platform's backing store (a no-op without one). Call it after the
+// blob returned by Seal is durably stored: it makes the blob's
+// sequence the floor below which every future Unseal refuses.
+func (e *Enclave) CommitSeal() error {
+	p := e.core.platform
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.persistRegistersLocked()
+}
+
 // Unseal decrypts a blob produced by Seal. It fails if the blob was
 // tampered with, sealed by a different enclave identity, sealed during
 // an earlier platform epoch, or superseded by a newer seal of the same
 // enclave (ErrSealRolledBack — the stale blob is authentic but
-// restoring it would regress the sealed state).
+// restoring it would regress the sealed state). A blob exactly one
+// sequence ahead of the register is accepted: it is the newest seal,
+// written durably just before a crash preempted the register commit;
+// accepting it raises the register to match (see Seal). More than one
+// ahead is ErrSealAhead — the register storage itself went missing.
 func (e *Enclave) Unseal(blob []byte) ([]byte, error) {
 	if len(blob) < sealHeaderSize {
 		return nil, ErrSealCorrupt
@@ -297,14 +351,21 @@ func (e *Enclave) Unseal(blob []byte) ([]byte, error) {
 		return nil, ErrSealCorrupt
 	}
 	// Authenticity established; now enforce freshness against the
-	// platform's monotonic register. A sequence above the register is
-	// impossible for an honest platform and treated as corruption.
+	// platform's monotonic register. seq == latest is the normal case;
+	// seq == latest+1 is the blob of an in-flight seal whose register
+	// commit a crash preempted — it is the newest state, so accept it
+	// and raise the register to close the window. Anything further
+	// ahead means the register storage regressed.
 	latest := e.core.platform.SealSeq(e.core.name)
-	if seq < latest {
+	switch {
+	case seq < latest:
 		return nil, fmt.Errorf("%w: blob seq %d, register %d", ErrSealRolledBack, seq, latest)
-	}
-	if seq > latest {
-		return nil, ErrSealCorrupt
+	case seq == latest+1:
+		if err := e.core.platform.healSealSeq(e.core.name, seq); err != nil {
+			return nil, err
+		}
+	case seq > latest:
+		return nil, fmt.Errorf("%w: blob seq %d, register %d", ErrSealAhead, seq, latest)
 	}
 	return data, nil
 }
@@ -338,9 +399,11 @@ func sealAAD(name string, epoch, seq uint64) []byte {
 // BindStore attaches a backing file to the platform's seal registers,
 // standing in for the rollback-protected NVM real monotonic counters
 // live in. Existing register state in the file is loaded (merged by
-// maximum, so in-memory registers never regress) and every subsequent
-// register bump is written through synchronously. The file is MAC'd
-// under the platform sealing key; a tampered file is rejected.
+// maximum, so in-memory registers never regress) and register bumps
+// are written through — fsynced — when the sealer calls CommitSeal,
+// after its blob is durable (see the store field for why the order
+// matters). The file is MAC'd under the platform sealing key; a
+// tampered file is rejected.
 func (p *Platform) BindStore(path string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -362,7 +425,11 @@ func (p *Platform) BindStore(path string) error {
 }
 
 // persistRegistersLocked writes the registers through to the store, if
-// one is bound. Called with p.mu held.
+// one is bound: temp file, fsync, rename, directory fsync — the same
+// discipline as wal.SealStore.Save, so power loss leaves either the
+// old register file or the new one, never a torn or vanished write
+// that would quietly regress rollback detection. Called with p.mu
+// held.
 func (p *Platform) persistRegistersLocked() error {
 	if p.store == "" {
 		return nil
@@ -380,12 +447,28 @@ func (p *Platform) persistRegistersLocked() error {
 		body = append(body, crypto.U64(p.sealSeq[n])...)
 	}
 	mac := p.sealKey.SumParts([]byte("seal-registers"), body)
-	tmp := p.store + ".tmp"
-	if err := os.WriteFile(tmp, append(body, mac[:]...), 0o600); err != nil {
+	tmpPath := p.store + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
 		return fmt.Errorf("enclave: seal register store: %w", err)
 	}
-	if err := os.Rename(tmp, p.store); err != nil {
+	if _, err := tmp.Write(append(body, mac[:]...)); err != nil {
+		tmp.Close()
 		return fmt.Errorf("enclave: seal register store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("enclave: seal register store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("enclave: seal register store: %w", err)
+	}
+	if err := os.Rename(tmpPath, p.store); err != nil {
+		return fmt.Errorf("enclave: seal register store: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(p.store)); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package enclave
 import (
 	"bytes"
 	"errors"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -176,6 +177,102 @@ func TestSealRollbackRejected(t *testing.T) {
 	}
 	if _, err := e.Unseal(blob2); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSealCrashWindowHealed pins the two-phase seal commit: a blob
+// whose register write-through a crash preempted (blob seq = stored
+// register + 1) is the NEWEST state and must be accepted — with the
+// register raised to match — not refused as a rollback. Before the
+// fix, an honest kill -9 in this window bricked the replica.
+func TestSealCrashWindowHealed(t *testing.T) {
+	reg := filepath.Join(t.TempDir(), "sealreg")
+	p1 := NewPlatform("m")
+	if err := p1.BindStore(reg); err != nil {
+		t.Fatal(err)
+	}
+	e1 := Create(p1, "x", CostModel{}, func() any { return nil })
+	blob1, err := e1.Seal([]byte("state-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.CommitSeal(); err != nil { // blob durable → register committed
+		t.Fatal(err)
+	}
+	blob2, err := e1.Seal([]byte("state-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash HERE: blob2 written, CommitSeal never ran. The stored
+	// register still says 1 while blob2 carries sequence 2.
+
+	p2 := NewPlatform("m") // "reboot": fresh memory, same machine key
+	if err := p2.BindStore(reg); err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.SealSeq("x"); got != 1 {
+		t.Fatalf("stored register = %d, want 1 (commit was preempted)", got)
+	}
+	e2 := Create(p2, "x", CostModel{}, func() any { return nil })
+	data, err := e2.Unseal(blob2)
+	if err != nil {
+		t.Fatalf("crash-window blob refused: %v", err)
+	}
+	if string(data) != "state-2" {
+		t.Fatalf("unsealed %q, want state-2", data)
+	}
+	// Acceptance healed the register: the window is closed, and the
+	// superseded blob is now correctly a rollback.
+	if got := p2.SealSeq("x"); got != 2 {
+		t.Fatalf("register after heal = %d, want 2", got)
+	}
+	if _, err := e2.Unseal(blob1); !errors.Is(err, ErrSealRolledBack) {
+		t.Fatalf("stale blob after heal: %v, want ErrSealRolledBack", err)
+	}
+	// The heal was written through: a third boot sees register 2.
+	p3 := NewPlatform("m")
+	if err := p3.BindStore(reg); err != nil {
+		t.Fatal(err)
+	}
+	if got := p3.SealSeq("x"); got != 2 {
+		t.Fatalf("healed register not persisted: %d, want 2", got)
+	}
+}
+
+// TestSealRegisterLossRefused pins the other side of the ±1 window: a
+// blob MORE than one ahead of the stored register means the register
+// storage itself was lost or regressed, and the enclave must refuse
+// with a distinct error (rollback detection is gone, not the blob).
+func TestSealRegisterLossRefused(t *testing.T) {
+	reg := filepath.Join(t.TempDir(), "sealreg")
+	p1 := NewPlatform("m")
+	if err := p1.BindStore(reg); err != nil {
+		t.Fatal(err)
+	}
+	e1 := Create(p1, "x", CostModel{}, func() any { return nil })
+	if _, err := e1.Seal([]byte("s1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.CommitSeal(); err != nil {
+		t.Fatal(err)
+	}
+	// Two further seals whose commits never reach the store (register
+	// file frozen at 1, as if it were restored from an old backup).
+	if _, err := e1.Seal([]byte("s2")); err != nil {
+		t.Fatal(err)
+	}
+	blob3, err := e1.Seal([]byte("s3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := NewPlatform("m")
+	if err := p2.BindStore(reg); err != nil {
+		t.Fatal(err)
+	}
+	e2 := Create(p2, "x", CostModel{}, func() any { return nil })
+	if _, err := e2.Unseal(blob3); !errors.Is(err, ErrSealAhead) {
+		t.Fatalf("blob 2 ahead of register: %v, want ErrSealAhead", err)
 	}
 }
 

@@ -128,12 +128,12 @@ func (d *DurableTrInX) Horizon(tc uint32) uint64 {
 	return d.horizon[tc]
 }
 
-// ensure extends and seals the horizon so that it covers value on
-// counter tc. The seal write completes before the caller certifies, so
-// the on-disk horizon is never below a certified value.
-func (d *DurableTrInX) ensure(tc uint32, value uint64) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+// ensureLocked extends and seals the horizon so that it covers value
+// on counter tc. The seal write completes before the caller certifies,
+// so the on-disk horizon is never below a certified value. Called with
+// d.mu held; the caller keeps holding it through the enclave counter
+// advance, so SealNow can never snapshot between the two.
+func (d *DurableTrInX) ensureLocked(tc uint32, value uint64) error {
 	if int(tc) >= len(d.horizon) {
 		return fmt.Errorf("%w: %d of %d", ErrNoSuchCounter, tc, len(d.horizon))
 	}
@@ -150,10 +150,9 @@ func (d *DurableTrInX) ensure(tc uint32, value uint64) error {
 	return nil
 }
 
-// ensureMulti is ensure for a batch of updates, sealing at most once.
-func (d *DurableTrInX) ensureMulti(updates []CounterValue) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+// ensureMultiLocked is ensureLocked for a batch of updates, sealing at
+// most once.
+func (d *DurableTrInX) ensureMultiLocked(updates []CounterValue) error {
 	var next []uint64
 	for _, u := range updates {
 		if int(u.Counter) >= len(d.horizon) {
@@ -188,12 +187,23 @@ func (d *DurableTrInX) sealLocked(horizon []uint64) error {
 	if err := d.sink.SaveSeal(d.name, blob); err != nil {
 		return fmt.Errorf("trinx: save seal: %w", err)
 	}
+	// Blob durable — only now write the platform seal register through.
+	// A crash between the two leaves the blob one ahead of the stored
+	// register, which Unseal accepts and heals; committing the register
+	// first would make the same honest crash look like a rollback
+	// attack and permanently refuse the replica.
+	if err := d.enc.CommitSeal(); err != nil {
+		return fmt.Errorf("trinx: commit seal register: %w", err)
+	}
 	return nil
 }
 
 // SealNow seals the instance's *exact* current counter values, for
 // graceful shutdown: a clean stop then resumes warm, with no horizon
-// jump at all.
+// jump at all. Holding d.mu — which every Create* holds across its
+// horizon check AND enclave counter advance — guarantees the snapshot
+// cannot interleave with an in-flight certification, so the sealed
+// values are never below a certified one.
 func (d *DurableTrInX) SealNow() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -215,27 +225,38 @@ func (d *DurableTrInX) SealNow() error {
 }
 
 // CreateContinuing certifies like TrInX.CreateContinuing, first
-// extending the sealed horizon to cover value.
+// extending the sealed horizon to cover value. d.mu is held across the
+// horizon extension AND the enclave advance: SealNow's exact-value
+// snapshot can therefore never land between the two and seal a horizon
+// below a value certified concurrently.
 func (d *DurableTrInX) CreateContinuing(tc uint32, value uint64, msg crypto.Digest) (Certificate, error) {
-	if err := d.ensure(tc, value); err != nil {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.ensureLocked(tc, value); err != nil {
 		return Certificate{}, err
 	}
 	return d.TrInX.CreateContinuing(tc, value, msg)
 }
 
 // CreateIndependent certifies like TrInX.CreateIndependent, first
-// extending the sealed horizon to cover value.
+// extending the sealed horizon to cover value (locking as in
+// CreateContinuing).
 func (d *DurableTrInX) CreateIndependent(tc uint32, value uint64, msg crypto.Digest) (Certificate, error) {
-	if err := d.ensure(tc, value); err != nil {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.ensureLocked(tc, value); err != nil {
 		return Certificate{}, err
 	}
 	return d.TrInX.CreateIndependent(tc, value, msg)
 }
 
 // CreateMulti certifies like TrInX.CreateMulti, first extending the
-// sealed horizon to cover every updated value (one seal for the batch).
+// sealed horizon to cover every updated value (one seal for the batch,
+// locking as in CreateContinuing).
 func (d *DurableTrInX) CreateMulti(kind Kind, updates []CounterValue, msg crypto.Digest) (MultiCertificate, error) {
-	if err := d.ensureMulti(updates); err != nil {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.ensureMultiLocked(updates); err != nil {
 		return MultiCertificate{}, err
 	}
 	return d.TrInX.CreateMulti(kind, updates, msg)

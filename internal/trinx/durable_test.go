@@ -2,6 +2,8 @@ package trinx
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"hybster/internal/crypto"
@@ -126,6 +128,72 @@ func TestDurableRolledBackSealRefused(t *testing.T) {
 	sink.blobs[d.name] = stale
 	if _, err := NewDurable(p, id, 1, key, enclave.CostModel{}, sink, 4); !errors.Is(err, ErrStaleSeal) {
 		t.Fatalf("stale seal accepted: err=%v, want ErrStaleSeal", err)
+	}
+}
+
+// TestDurableCrashMidSealRecovers pins the kill -9-inside-sealLocked
+// window with a file-backed register (the multi-process deployment):
+// the sealed blob reached disk but the register write-through did not.
+// The next boot must accept the blob — it is the newest state — resume
+// at its horizon, and heal the register file; refusing it (as the
+// register-first ordering did) bricks an honest replica on a window
+// that opens at every horizon extension.
+func TestDurableCrashMidSealRecovers(t *testing.T) {
+	regFile := filepath.Join(t.TempDir(), "sealreg")
+	key := crypto.NewKeyFromSeed("durable-test-group")
+	id := MakeInstanceID(0, 0)
+	sink := newMemSink()
+
+	p1 := enclave.NewPlatform("durable-test")
+	if err := p1.BindStore(regFile); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDurable(p1, id, 1, key, enclave.CostModel{}, sink, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := crypto.HashParts([]byte("m"))
+	if _, err := d.CreateIndependent(0, 1, msg); err != nil { // seal #1, committed
+		t.Fatal(err)
+	}
+	preSeal, err := os.ReadFile(regFile) // register as of seal #1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CreateIndependent(0, 100, msg); err != nil { // seal #2, committed
+		t.Fatal(err)
+	}
+	d.Destroy()
+	// Rewind the register file to its pre-seal-#2 state: on disk this is
+	// exactly what a crash between SaveSeal and CommitSeal leaves —
+	// blob seq = register + 1.
+	if err := os.WriteFile(regFile, preSeal, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := enclave.NewPlatform("durable-test") // reboot: memory gone
+	if err := p2.BindStore(regFile); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDurable(p2, id, 1, key, enclave.CostModel{}, sink, 4)
+	if err != nil {
+		t.Fatalf("crash-mid-seal boot refused: %v", err)
+	}
+	defer d2.Destroy()
+	if !d2.Resumed() {
+		t.Fatal("did not resume from the in-flight seal")
+	}
+	cur, err := d2.Counter(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur < 100 {
+		t.Fatalf("recovered counter %d below last certified 100", cur)
+	}
+	// And the register file was healed to the blob's sequence, so the
+	// next seal continues the monotone chain.
+	if got, want := p2.SealSeq(d2.name), p1.SealSeq(d2.name); got != want {
+		t.Fatalf("healed register = %d, want %d", got, want)
 	}
 }
 

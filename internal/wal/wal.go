@@ -45,14 +45,18 @@ type Options struct {
 	// SegmentBytes is the rotation threshold (default 4 MiB).
 	SegmentBytes int64
 	// SyncInterval batches fsyncs: appends mark the log dirty and a
-	// background flusher syncs at this cadence (default 5 ms). Zero or
-	// negative syncs on every append (slow, fully durable).
+	// background flusher syncs at this cadence. Zero selects the 5 ms
+	// default; negative disables batching and syncs on every append
+	// (slow, fully durable).
 	SyncInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 4 << 20
+	}
+	if o.SyncInterval == 0 {
+		o.SyncInterval = 5 * time.Millisecond
 	}
 	return o
 }
@@ -74,6 +78,7 @@ type Log struct {
 	f       *os.File
 	seq     uint64            // active segment sequence number
 	size    int64             // bytes written to the active segment
+	synced  int64             // bytes of the active segment known fsynced
 	segMax  map[uint64]uint64 // per segment: highest decision order it holds
 	dirty   bool
 	closed  bool
@@ -283,6 +288,34 @@ func (l *Log) Close() error {
 	return err
 }
 
+// Abandon closes the log the way kill -9 would: no final flush, and
+// the bytes appended since the last fsync are cut down to a torn tail
+// (half of the unsynced span survives, so the file ends mid-frame when
+// anything was in flight — the exact artifact a power cut leaves for
+// recovery to discard). In-process crash harnesses use it to make a
+// "crashed" replica's next boot exercise the genuine torn-state
+// recovery path instead of the graceful-shutdown one.
+func (l *Log) Abandon() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	close(l.stopFlush)
+	var err error
+	if l.size > l.synced {
+		torn := l.synced + (l.size-l.synced)/2
+		err = l.f.Truncate(torn)
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.mu.Unlock()
+	<-l.flushDone
+	return err
+}
+
 // --- internals -------------------------------------------------------------
 
 func (l *Log) append(payload []byte, order uint64, sync bool) error {
@@ -328,6 +361,7 @@ func (l *Log) syncLocked() error {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	l.dirty = false
+	l.synced = l.size
 	return nil
 }
 
@@ -361,6 +395,7 @@ func (l *Log) openSegmentLocked(seq uint64) error {
 		return fmt.Errorf("wal: open segment: %w", err)
 	}
 	l.f, l.seq, l.size = f, seq, st.Size()
+	l.synced = l.size
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
 	"hybster/internal/crypto"
 	"hybster/internal/message"
@@ -217,6 +218,51 @@ func TestBitFlipStopsScan(t *testing.T) {
 	// The CRC catches the flip; recovery keeps the intact prefix only.
 	if rec.LastOrder() >= 3 {
 		t.Errorf("recovered past corruption: LastOrder=%d", rec.LastOrder())
+	}
+}
+
+// TestAbandonTearsUnsyncedTail pins the kill -9 simulation: Abandon
+// must preserve everything fsynced, discard (part of) the unsynced
+// tail — leaving a torn frame when writes were in flight — and the
+// next Open must recover the durable prefix cleanly.
+func TestAbandonTearsUnsyncedTail(t *testing.T) {
+	dir := t.TempDir()
+	// A huge sync interval keeps the background flusher out of the
+	// test: only the explicit Sync below makes records durable.
+	l, _ := mustOpen(t, dir, Options{SyncInterval: time.Hour})
+	for o := uint64(1); o <= 3; o++ {
+		if err := l.AppendDecision(testDecision(0, o, o)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for o := uint64(4); o <= 6; o++ {
+		if err := l.AppendDecision(testDecision(0, o, o)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Abandon(); err != nil {
+		t.Fatalf("Abandon: %v", err)
+	}
+	if err := l.AppendDecision(testDecision(0, 7, 7)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after Abandon: %v, want ErrClosed", err)
+	}
+
+	l, rec := mustOpen(t, dir, Options{})
+	defer l.Close()
+	last := rec.LastOrder()
+	if last < 3 {
+		t.Fatalf("recovered LastOrder %d: the fsynced prefix 1..3 was lost", last)
+	}
+	if last >= 6 {
+		t.Fatalf("recovered LastOrder %d: the unsynced tail survived Abandon intact", last)
+	}
+	for i, d := range rec.Decisions {
+		if got, want := uint64(d.Order), uint64(i+1); got != want {
+			t.Fatalf("decision %d has order %d, want %d (gapless prefix)", i, got, want)
+		}
 	}
 }
 
