@@ -3,7 +3,7 @@ GO ?= go
 # Per-target budget of the fuzz smoke (make fuzz-smoke / CI).
 FUZZTIME ?= 20s
 
-.PHONY: build test test-race vet chaos-smoke chaos-long fuzz-smoke bench
+.PHONY: build test test-race vet chaos-smoke chaos-long fuzz-smoke bench bench-smoke ops-demo
 
 build:
 	$(GO) build ./...
@@ -38,3 +38,14 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Telemetry-overhead gate: the instrumented enclave hot path must run,
+# not just compile. 100 iterations is a smoke, not a measurement; the
+# in-test overhead assertion is what matters.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead' -benchtime 100x ./internal/trinx/
+
+# Live observability demo: boots a 3-replica TCP group with -ops,
+# commits client load, and scrapes /metrics + health probes.
+ops-demo:
+	sh scripts/ops-demo.sh

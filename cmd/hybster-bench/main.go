@@ -6,6 +6,7 @@
 //	hybster-bench -figure 5b                 # one figure
 //	hybster-bench -figure all -duration 10s  # everything, longer windows
 //	hybster-bench -figure 6c -csv            # machine-readable output
+//	hybster-bench -figure 5c -json           # results/fig5c.json with telemetry
 //
 // Figures: 5a (trusted subsystem), 5b (unbatched throughput),
 // 5c (batched throughput), 6a (latency, 0 B), 6b (latency, 1 kB),
@@ -13,9 +14,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"hybster/internal/bench"
@@ -28,6 +31,8 @@ func main() {
 	clients := flag.Int("clients", 48, "closed-loop clients for throughput figures")
 	quick := flag.Bool("quick", false, "reduced sweep resolution (smoke test)")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	jsonOut := flag.Bool("json", false, "additionally write machine-readable results (with telemetry snapshots) under -results")
+	resultsDir := flag.String("results", "results", "directory for -json output files")
 	flag.Parse()
 
 	opts := bench.DefaultOptions()
@@ -75,10 +80,88 @@ func main() {
 		} else {
 			bench.WriteTable(os.Stdout, f.title, f.xLabel, points)
 		}
+		if *jsonOut {
+			path, err := writeJSON(*resultsDir, f.name, f.title, f.xLabel, opts, points)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figure %s: %v\n", f.name, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// jsonPoint is the machine-readable form of one measurement: durations
+// flattened to microseconds and the cluster-wide telemetry snapshot
+// attached, so a results file carries not just the numbers a figure
+// plots but the internal counters explaining them.
+type jsonPoint struct {
+	Series       string             `json:"series"`
+	X            float64            `json:"x"`
+	ThroughputOS float64            `json:"throughput_ops"`
+	AvgUS        int64              `json:"avg_latency_us"`
+	P50US        int64              `json:"p50_us"`
+	P90US        int64              `json:"p90_us"`
+	P99US        int64              `json:"p99_us"`
+	MaxUS        int64              `json:"max_us"`
+	Samples      int                `json:"latency_samples"`
+	Telemetry    map[string]float64 `json:"telemetry,omitempty"`
+}
+
+// writeJSON renders one figure's points to <dir>/fig<name>.json.
+func writeJSON(dir, name, title, xLabel string, opts bench.Options, points []bench.Point) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	doc := struct {
+		Figure     string      `json:"figure"`
+		Title      string      `json:"title"`
+		XLabel     string      `json:"x_label"`
+		DurationMS int64       `json:"duration_ms"`
+		WarmupMS   int64       `json:"warmup_ms"`
+		Clients    int         `json:"clients"`
+		Quick      bool        `json:"quick"`
+		Generated  string      `json:"generated"`
+		Points     []jsonPoint `json:"points"`
+	}{
+		Figure:     name,
+		Title:      title,
+		XLabel:     xLabel,
+		DurationMS: opts.Duration.Milliseconds(),
+		WarmupMS:   opts.Warmup.Milliseconds(),
+		Clients:    opts.Clients,
+		Quick:      opts.Quick,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, p := range points {
+		doc.Points = append(doc.Points, jsonPoint{
+			Series:       p.Series,
+			X:            p.X,
+			ThroughputOS: p.Throughput,
+			AvgUS:        p.Latency.Avg.Microseconds(),
+			P50US:        p.Latency.P50.Microseconds(),
+			P90US:        p.Latency.P90.Microseconds(),
+			P99US:        p.Latency.P99.Microseconds(),
+			MaxUS:        p.Latency.Max.Microseconds(),
+			Samples:      p.Latency.Count,
+			Telemetry:    p.Telemetry,
+		})
+	}
+	path := filepath.Join(dir, "fig"+name+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
 }

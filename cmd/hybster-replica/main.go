@@ -31,6 +31,7 @@ import (
 	"hybster/internal/minbft"
 	"hybster/internal/pbft"
 	"hybster/internal/statemachine"
+	"hybster/internal/telemetry"
 	"hybster/internal/transport"
 )
 
@@ -44,6 +45,7 @@ func main() {
 	appFlag := flag.String("app", "echo", "application: echo, counter, coordination")
 	keySeed := flag.String("keyseed", "hybster-default", "group key seed (must match on all nodes)")
 	dataDir := flag.String("data", "", "data directory for durable crash-recovery (sealed counters + WAL); empty = in-memory only")
+	opsAddr := flag.String("ops", "", "ops endpoint listen address (/metrics, /vars, /trace, /healthz, /readyz, pprof); empty = disabled")
 	flag.Parse()
 
 	peers := strings.Split(*peersFlag, ",")
@@ -76,7 +78,9 @@ func main() {
 			peerMap[uint32(i)] = strings.TrimSpace(addr)
 		}
 	}
-	ep, err := transport.NewTCP(uint32(*id), strings.TrimSpace(peers[*id]), peerMap)
+	tel := telemetry.New(proto.String())
+	ep, err := transport.NewTCPWithOptions(uint32(*id), strings.TrimSpace(peers[*id]), peerMap,
+		transport.TCPOptions{Telemetry: tel})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,30 +103,91 @@ func main() {
 	}
 
 	var replica cluster.Replica
+	var healthz, readyz func() error
 	switch proto {
 	case config.HybsterS, config.HybsterX:
-		replica, err = core.New(core.Options{
+		var eng *core.Engine
+		eng, err = core.New(core.Options{
 			Config: cfg, ID: uint32(*id), Endpoint: ep, Application: app,
 			Platform: platform, EnclaveCost: enclave.DefaultCostModel,
-			DataDir: *dataDir,
+			DataDir: *dataDir, Telemetry: tel,
 		})
+		if eng != nil {
+			replica, healthz, readyz = eng, eng.Healthz, eng.Readyz
+		}
 	case config.PBFTcop, config.HybridPBFT:
-		replica, err = pbft.New(pbft.Options{
+		var eng *pbft.Engine
+		eng, err = pbft.New(pbft.Options{
 			Config: cfg, ID: uint32(*id), Endpoint: ep, Application: app,
 			Platform: platform, EnclaveCost: enclave.DefaultCostModel,
+			Telemetry: tel,
 		})
+		if eng != nil {
+			replica, healthz, readyz = eng, eng.Healthz, eng.Healthz
+		}
 	case config.MinBFT:
-		replica, err = minbft.New(minbft.Options{
+		var eng *minbft.Engine
+		eng, err = minbft.New(minbft.Options{
 			Config: cfg, ID: uint32(*id), Endpoint: ep, Application: app,
 			Platform: platform, EnclaveCost: enclave.DefaultCostModel,
+			Telemetry: tel,
 		})
+		if eng != nil {
+			replica, healthz, readyz = eng, eng.Healthz, eng.Healthz
+		}
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Trace dumps land next to the replica's durable state; a volatile
+	// replica dumps into the system temp directory instead.
+	dumpDir := *dataDir
+	if dumpDir == "" {
+		dumpDir = filepath.Join(os.TempDir(), fmt.Sprintf("hybster-replica-%d", *id))
+	}
+
+	if *opsAddr != "" {
+		ops := telemetry.NewOpsServer(telemetry.OpsOptions{
+			Telemetry:    tel,
+			Healthz:      healthz,
+			Readyz:       readyz,
+			TraceDumpDir: dumpDir,
+			Vars: func() map[string]any {
+				return map[string]any{
+					"replica":  *id,
+					"protocol": proto.String(),
+					"executed": uint64(replica.LastExecuted()),
+				}
+			},
+		})
+		if err := ops.Serve(*opsAddr); err != nil {
+			log.Fatal(err)
+		}
+		defer ops.Close()
+		log.Printf("replica %d ops endpoint on http://%s (/metrics /vars /trace /healthz /readyz /debug/pprof)",
+			*id, ops.Addr())
+	}
+
 	replica.Start()
 	log.Printf("replica %d (%s, %d pillars, app %s) listening on %s",
 		*id, proto, cfg.Pillars, *appFlag, ep.Addr())
+
+	// SIGQUIT dumps the protocol trace ring and keeps running, so an
+	// operator can snapshot a live replica's recent history (`kill -QUIT`)
+	// without the ops endpoint.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			path, err := tel.Tracer().DumpFile(dumpDir)
+			if err != nil {
+				log.Printf("replica %d trace dump failed: %v", *id, err)
+				continue
+			}
+			log.Printf("replica %d trace ring dumped to %s", *id, path)
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

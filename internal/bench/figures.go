@@ -201,11 +201,12 @@ func throughputSweep(opts Options, batch int, rotate bool) ([]Point, error) {
 			}
 			tput, lat, err := RunLoad(cl, opts.Clients, opts.Warmup, opts.Duration,
 				func(uint32) workload.Generator { return workload.NewFixed(0) })
+			snap := cl.TelemetrySnapshot()
 			cl.Stop()
 			if err != nil {
 				return nil, fmt.Errorf("%s cores=%d: %w", spec.Name, c, err)
 			}
-			out = append(out, Point{Series: spec.Name, X: float64(c), Throughput: tput, Latency: lat})
+			out = append(out, Point{Series: spec.Name, X: float64(c), Throughput: tput, Latency: lat, Telemetry: snap})
 		}
 	}
 	return out, nil
@@ -240,11 +241,12 @@ func latencySweep(opts Options, payload int, profile transport.LinkProfile) ([]P
 			}
 			tput, lat, err := RunLoad(cl, nc, opts.Warmup, opts.Duration,
 				func(uint32) workload.Generator { return workload.NewFixed(payload) })
+			snap := cl.TelemetrySnapshot()
 			cl.Stop()
 			if err != nil {
 				return nil, fmt.Errorf("%s clients=%d: %w", spec.Name, nc, err)
 			}
-			out = append(out, Point{Series: spec.Name, X: float64(nc), Throughput: tput, Latency: lat})
+			out = append(out, Point{Series: spec.Name, X: float64(nc), Throughput: tput, Latency: lat, Telemetry: snap})
 		}
 	}
 	return out, nil
@@ -283,11 +285,12 @@ func SequentialBaselines(opts Options) ([]Point, error) {
 			}
 			tput, lat, err := RunLoad(cl, opts.Clients, opts.Warmup, opts.Duration,
 				func(uint32) workload.Generator { return workload.NewFixed(0) })
+			snap := cl.TelemetrySnapshot()
 			cl.Stop()
 			if err != nil {
 				return nil, fmt.Errorf("%s batch=%d: %w", spec.Name, batch, err)
 			}
-			out = append(out, Point{Series: spec.Name, X: float64(batch), Throughput: tput, Latency: lat})
+			out = append(out, Point{Series: spec.Name, X: float64(batch), Throughput: tput, Latency: lat, Telemetry: snap})
 		}
 	}
 	return out, nil
@@ -318,11 +321,12 @@ func Fig6c(opts Options) ([]Point, error) {
 				func(clientID uint32) workload.Generator {
 					return workload.NewCoordination(clientID, r, 128, 16)
 				})
+			snap := cl.TelemetrySnapshot()
 			cl.Stop()
 			if err != nil {
 				return nil, fmt.Errorf("%s read=%.0f%%: %w", spec.Name, ratio*100, err)
 			}
-			out = append(out, Point{Series: spec.Name, X: ratio * 100, Throughput: tput, Latency: lat})
+			out = append(out, Point{Series: spec.Name, X: ratio * 100, Throughput: tput, Latency: lat, Telemetry: snap})
 		}
 	}
 	return out, nil

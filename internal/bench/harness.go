@@ -33,6 +33,10 @@ type Point struct {
 	X          float64
 	Throughput float64 // ops/s
 	Latency    stats.Summary
+	// Telemetry is the cluster-wide metric snapshot taken right after
+	// the measured window (series summed across replicas). Nil for
+	// points measured without a cluster (e.g. Fig. 5a certifiers).
+	Telemetry map[string]float64
 }
 
 // Options control measurement length and simulated platform costs.

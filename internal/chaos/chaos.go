@@ -77,6 +77,27 @@ type Result struct {
 	// state (amnesia) and were correctly refused — they stay down and
 	// are exempt from the catch-up liveness check.
 	Zombies []uint32
+	// Telemetry is each replica's flattened metrics snapshot taken at
+	// the end of the run (index = replica ID). Counters survive
+	// restarts (the registry outlives engine incarnations), so tests
+	// can assert on internal protocol behavior — e.g. that message loss
+	// actually forced retransmissions.
+	Telemetry []map[string]float64
+}
+
+// Metric sums one metric across every replica's snapshot, matching
+// series by exposition-name prefix so labeled families (e.g.
+// `hybster_core_retransmits_total{pillar="0"}`) aggregate naturally.
+func (r *Result) Metric(prefix string) float64 {
+	var sum float64
+	for _, snap := range r.Telemetry {
+		for name, v := range snap {
+			if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+				sum += v
+			}
+		}
+	}
+	return sum
 }
 
 func (o Options) withDefaults() Options {
@@ -273,15 +294,17 @@ func (r *run) factory(cfg config.Config, id uint32, ep transport.Endpoint, env c
 	case config.MinBFT:
 		return minbft.New(minbft.Options{
 			Config: cfg, ID: id, Endpoint: ep, Application: app, Platform: env.Platform,
+			Telemetry: env.Telemetry,
 		})
 	case config.PBFTcop, config.HybridPBFT:
 		return pbft.New(pbft.Options{
 			Config: cfg, ID: id, Endpoint: ep, Application: app, Platform: env.Platform,
+			Telemetry: env.Telemetry,
 		})
 	default:
 		return core.New(core.Options{
 			Config: cfg, ID: id, Endpoint: ep, Application: app, Platform: env.Platform,
-			DataDir: env.DataDir,
+			DataDir: env.DataDir, Telemetry: env.Telemetry,
 		})
 	}
 }
@@ -583,6 +606,10 @@ func (r *run) result() *Result {
 	}
 	sort.Slice(res.Restarted, func(i, j int) bool { return res.Restarted[i] < res.Restarted[j] })
 	res.Zombies = r.cl.Zombies()
+	res.Telemetry = make([]map[string]float64, r.cfg.N)
+	for id := uint32(0); int(id) < r.cfg.N; id++ {
+		res.Telemetry[id] = r.cl.Telemetry(id).Metrics().Snapshot()
+	}
 	for _, f := range r.faulty {
 		s := f.Stats()
 		res.Faults.Sent += s.Sent

@@ -63,6 +63,39 @@ func TestChaosHybsterX(t *testing.T) { runChaos(t, config.HybsterX, 2) }
 func TestChaosPBFT(t *testing.T)     { runChaos(t, config.PBFTcop, 3) }
 func TestChaosMinBFT(t *testing.T)   { runChaos(t, config.MinBFT, 4) }
 
+// TestChaosTelemetryAssertsRetransmits runs a pure heavy-loss schedule
+// and asserts on the telemetry snapshot in the result: the harness can
+// now check internal protocol state, not just externally visible
+// effects. With 20% of replica-to-replica messages dropped, progress
+// requires the tick handler's retransmissions, so their counter must
+// be nonzero — as must the commit and enclave-call counters that any
+// committing Hybster cluster drives.
+func TestChaosTelemetryAssertsRetransmits(t *testing.T) {
+	plan := Plan{
+		Seed:    99,
+		N:       config.ReplicasFor(config.HybsterS, 1),
+		Horizon: chaosHorizon(),
+		Links:   []LinkFault{{From: Any, To: Any, Drop: 0.2}},
+	}
+	res, err := Run(Options{Protocol: config.HybsterS, Plan: &plan, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	if got := res.Metric("hybster_core_committed_total"); got == 0 {
+		t.Fatal("no instance committed according to telemetry")
+	}
+	if got := res.Metric("hybster_core_retransmits_total"); got == 0 {
+		t.Fatal("20% message loss drove zero retransmissions — instrumentation or recovery path broken")
+	}
+	if got := res.Metric("hybster_trinx_ecalls_total"); got == 0 {
+		t.Fatal("committing cluster recorded zero enclave calls")
+	}
+	t.Logf("telemetry: committed=%v retransmits=%v ecalls=%v",
+		res.Metric("hybster_core_committed_total"),
+		res.Metric("hybster_core_retransmits_total"),
+		res.Metric("hybster_trinx_ecalls_total"))
+}
+
 func TestChaosGenerateDeterministic(t *testing.T) {
 	a := Generate(42, 4, 2*time.Second)
 	b := Generate(42, 4, 2*time.Second)

@@ -18,6 +18,7 @@ import (
 	"hybster/internal/minbft"
 	"hybster/internal/pbft"
 	"hybster/internal/statemachine"
+	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
 )
@@ -47,6 +48,11 @@ type Killer interface {
 type NodeEnv struct {
 	Platform *enclave.Platform
 	DataDir  string
+	// Telemetry is the replica's metrics registry and tracer. Like the
+	// platform it survives Restart: idempotent metric registration keeps
+	// counters continuous across engine generations, and gauge callbacks
+	// are swapped to the new engine's state.
+	Telemetry *telemetry.Telemetry
 }
 
 // Factory builds one replica engine attached to the given endpoint and
@@ -61,6 +67,7 @@ type Cluster struct {
 	factory   Factory
 	wrap      func(id uint32, ep transport.Endpoint) transport.Endpoint
 	platforms []*enclave.Platform
+	telems    []*telemetry.Telemetry
 	dataDirs  []string // per replica; empty = volatile
 	replicas  []Replica
 	crashed   []bool
@@ -100,6 +107,7 @@ func New(opts Options, factory Factory) (*Cluster, error) {
 		factory:    factory,
 		wrap:       opts.WrapEndpoint,
 		platforms:  make([]*enclave.Platform, opts.Config.N),
+		telems:     make([]*telemetry.Telemetry, opts.Config.N),
 		dataDirs:   make([]string, opts.Config.N),
 		replicas:   make([]Replica, opts.Config.N),
 		crashed:    make([]bool, opts.Config.N),
@@ -110,6 +118,7 @@ func New(opts Options, factory Factory) (*Cluster, error) {
 		ep := c.endpoint(id)
 		platform := enclave.NewPlatform(fmt.Sprintf("replica-%d", id))
 		c.platforms[id] = platform
+		c.telems[id] = telemetry.New(opts.Config.Protocol.String())
 		if opts.DataRoot != "" {
 			dir := filepath.Join(opts.DataRoot, fmt.Sprintf("replica-%d", id))
 			if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -143,11 +152,38 @@ func (c *Cluster) endpoint(id uint32) transport.Endpoint {
 
 // env assembles replica id's machine environment.
 func (c *Cluster) env(id uint32) NodeEnv {
-	return NodeEnv{Platform: c.platforms[id], DataDir: c.dataDirs[id]}
+	return NodeEnv{Platform: c.platforms[id], DataDir: c.dataDirs[id], Telemetry: c.telems[id]}
 }
 
 // DataDir returns replica id's data directory ("" when volatile).
 func (c *Cluster) DataDir(id uint32) string { return c.dataDirs[id] }
+
+// Telemetry returns replica id's telemetry bundle. It is valid even
+// while the replica is crashed (counters freeze at their last values),
+// which lets tests assert on internal state post-mortem.
+func (c *Cluster) Telemetry(id uint32) *telemetry.Telemetry { return c.telems[id] }
+
+// MetricValue reads one metric series from replica id by its full
+// exposition name, e.g. `hybster_core_retransmits_total{pillar="0"}`
+// (histograms yield their observation count; unregistered series read
+// as 0).
+func (c *Cluster) MetricValue(id uint32, fullName string) float64 {
+	return c.telems[id].Metrics().Value(fullName)
+}
+
+// TelemetrySnapshot sums every metric series across all replicas into
+// one cluster-wide map (histograms contribute their observation
+// counts). Benchmarks attach it to result points; per-replica views
+// stay available through Telemetry(id).
+func (c *Cluster) TelemetrySnapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, t := range c.telems {
+		for name, v := range t.Metrics().Snapshot() {
+			out[name] += v
+		}
+	}
+	return out
+}
 
 // NewHybster boots a Hybster cluster (HybsterS or HybsterX depending
 // on cfg.Pillars) running the applications produced by newApp.
@@ -160,6 +196,7 @@ func NewHybster(opts Options, newApp func() statemachine.Application) (*Cluster,
 			Application: newApp(),
 			Platform:    env.Platform,
 			EnclaveCost: opts.EnclaveCost,
+			Telemetry:   env.Telemetry,
 			DataDir:     env.DataDir,
 		})
 	})
@@ -176,6 +213,7 @@ func NewPBFT(opts Options, newApp func() statemachine.Application) (*Cluster, er
 			Application: newApp(),
 			Platform:    env.Platform,
 			EnclaveCost: opts.EnclaveCost,
+			Telemetry:   env.Telemetry,
 		})
 	})
 }
@@ -190,6 +228,7 @@ func NewMinBFT(opts Options, newApp func() statemachine.Application) (*Cluster, 
 			Application: newApp(),
 			Platform:    env.Platform,
 			EnclaveCost: opts.EnclaveCost,
+			Telemetry:   env.Telemetry,
 		})
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"hybster/internal/cop"
 	"hybster/internal/crypto"
 	"hybster/internal/message"
+	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
 )
@@ -215,6 +216,8 @@ func (c *coordinator) handleStable(s *checkpoint.Stable[*message.Checkpoint]) {
 		st.snapshot, st.rv = cand.snapshot, cand.rv
 	}
 	c.lastStable = st
+	c.e.met.ckptsStable.Inc()
+	c.e.trace(telemetry.EvCkptStable, uint64(c.curView), uint64(s.Order), 0, "")
 	c.e.logCheckpoint(st)
 	for o := range c.candidates {
 		if o <= s.Order {
@@ -289,6 +292,8 @@ func (c *coordinator) handleStateReply(rep *message.StateReply) {
 			p.inbox.Put(evAdvance{order: rep.CkptOrder})
 		}
 	}
+	c.e.met.stateXfers.Inc()
+	c.e.trace(telemetry.EvStateXfer, uint64(c.curView), uint64(rep.CkptOrder), 0, "")
 	c.e.noteProgress(false)
 }
 
@@ -506,6 +511,8 @@ func (c *coordinator) startViewChange(to timeline.View) bool {
 	c.pending = true
 	c.pendingTo = to
 	c.pendingSince = c.e.now()
+	c.e.met.viewChanges.Inc()
+	c.e.trace(telemetry.EvViewChange, uint64(to), 0, 0, "")
 	c.ownVC = map[timeline.View][]*message.ViewChange{to: parts}
 	c.storeVCParts(c.e.id, parts)
 	for _, vc := range parts {

@@ -31,6 +31,7 @@ import (
 	"hybster/internal/enclave"
 	"hybster/internal/message"
 	"hybster/internal/statemachine"
+	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
 )
@@ -61,6 +62,10 @@ type Options struct {
 	Platform *enclave.Platform
 	// EnclaveCost is the simulated SGX cost model for TrInX calls.
 	EnclaveCost enclave.CostModel
+	// Telemetry, when non-nil, enables metrics and protocol-event
+	// tracing for this replica (package telemetry). nil runs the
+	// engine fully uninstrumented.
+	Telemetry *telemetry.Telemetry
 	// DataDir, when non-empty, enables durable crash-recovery: trusted
 	// counters are sealed to DataDir/seal with a monotonic horizon and
 	// committed decisions plus stable checkpoints land in a write-ahead
@@ -87,7 +92,8 @@ type Engine struct {
 	exec    *execLoop
 	coord   *coordinator
 	seq     *sequencer
-	dur     *durability // nil without a data dir
+	dur     *durability   // nil without a data dir
+	met     engineMetrics // zero value when telemetry is off
 
 	// curView mirrors the coordinator's stable view for lock-free
 	// reads on hot paths.
@@ -116,10 +122,11 @@ func New(opts Options) (*Engine, error) {
 		ep:      opts.Endpoint,
 		ks:      crypto.NewKeyStore(opts.ID, key),
 		now:     opts.Now,
+		met:     newEngineMetrics(opts.Telemetry),
 		stopped: make(chan struct{}),
 	}
 	if opts.DataDir != "" {
-		dur, err := openDurability(opts.DataDir)
+		dur, err := openDurability(opts.DataDir, opts.Telemetry)
 		if err != nil {
 			return nil, err
 		}
@@ -152,6 +159,7 @@ func New(opts Options) (*Engine, error) {
 		e.pillars[u] = newPillar(e, uint32(u), tx)
 	}
 	e.seq = newSequencer(e)
+	e.registerGauges(opts.Telemetry)
 	if e.dur != nil {
 		e.restore()
 	}
@@ -414,6 +422,7 @@ func (s *sequencer) proposeNoop(v timeline.View, o timeline.Order) {
 	}
 	s.mu.Unlock()
 	u := s.e.cfg.PillarOf(o) % uint32(len(s.e.pillars))
+	s.e.met.noops.Inc()
 	s.e.pillars[u].inbox.Put(evPropose{view: v, order: o, batch: nil})
 }
 

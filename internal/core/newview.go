@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hybster/internal/message"
+	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
 	"hybster/internal/trinx"
@@ -373,6 +374,7 @@ func (c *coordinator) sendAcks(w timeline.View, newPreps [][]*message.Prepare) {
 func (c *coordinator) installNewView(w timeline.View, startCkpt timeline.Order, newPreps [][]*message.Prepare, leader bool, vcSet map[uint32][]*message.ViewChange) {
 	c.curView = w
 	c.e.curView.Store(uint64(w))
+	c.e.trace(telemetry.EvNewView, uint64(w), uint64(startCkpt), 0, "")
 	c.pending = false
 	c.pendingTo = 0
 	// Reset suspicion to the installed view: any desire for a higher

@@ -4,6 +4,7 @@ import (
 	"hybster/internal/checkpoint"
 	"hybster/internal/cop"
 	"hybster/internal/message"
+	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
 )
@@ -78,6 +79,7 @@ type pillar struct {
 	idx   uint32
 	tx    Certifier
 	inbox *cop.Mailbox[any]
+	met   pillarMetrics
 
 	view    timeline.View
 	aborted bool
@@ -110,6 +112,7 @@ func newPillar(e *Engine, idx uint32, tx Certifier) *pillar {
 		idx:          idx,
 		tx:           tx,
 		inbox:        cop.NewMailbox[any](),
+		met:          newPillarMetrics(e.met.tel, idx),
 		win:          newOrderWindow(e.cfg.WindowSize, e.cfg.Quorum()),
 		ckpts:        checkpoint.NewTracker[*message.Checkpoint](e.cfg.Quorum()),
 		pendingProps: make(map[timeline.Order]evPropose),
@@ -269,6 +272,8 @@ func (p *pillar) sendPrepare(ev evPropose) {
 	prep.Cert = cert
 	s := p.win.SetPrepare(prep)
 	p.ownMsg[ev.order] = prep
+	p.met.prepares.Inc()
+	p.e.trace(telemetry.EvPropose, uint64(ev.view), uint64(ev.order), p.idx, "")
 	transport.Multicast(p.e.ep, p.e.cfg.N, prep)
 	p.maybeDeliver(s)
 }
@@ -289,6 +294,8 @@ func (p *pillar) sendCommit(m *message.Prepare) {
 	s.AddOwnAck(p.e.id)
 	p.win.Refresh(s)
 	p.ownMsg[m.Order] = com
+	p.met.commits.Inc()
+	p.e.trace(telemetry.EvCommit, uint64(m.View), uint64(m.Order), p.idx, "")
 	transport.Multicast(p.e.ep, p.e.cfg.N, com)
 	p.maybeDeliver(s)
 }
@@ -300,6 +307,8 @@ func (p *pillar) maybeDeliver(s *slot) {
 		return
 	}
 	s.Executed = true
+	p.met.committed.Inc()
+	p.e.trace(telemetry.EvDeliver, uint64(s.Prepare.View), uint64(s.Order), p.idx, "")
 	p.e.logDecision(s.Prepare.View, s.Order, s.Prepare.Requests)
 	p.e.exec.inbox.Put(evExec{order: s.Order, batch: s.Prepare.Requests})
 	if s.Prepare.Cert.Issuer.Replica() == p.e.id {
@@ -317,6 +326,8 @@ func (p *pillar) handleCkptDue(ev evCkptDue) {
 	}
 	ck.Cert = cert
 	p.ownCkpt[ev.order] = ck
+	p.e.met.ckptsOwn.Inc()
+	p.e.trace(telemetry.EvCheckpoint, uint64(p.view), uint64(ev.order), p.idx, "")
 	transport.Multicast(p.e.ep, p.e.cfg.N, ck)
 	p.addCheckpoint(ck)
 }
@@ -463,6 +474,8 @@ func (p *pillar) handleTick() {
 			continue
 		}
 		if m, ok := p.ownMsg[o]; ok {
+			p.met.retransmits.Inc()
+			p.e.trace(telemetry.EvRetransmit, uint64(p.view), uint64(o), p.idx, "")
 			transport.Multicast(p.e.ep, p.e.cfg.N, m)
 		}
 		break // one per tick is enough

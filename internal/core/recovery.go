@@ -6,6 +6,7 @@ import (
 
 	"hybster/internal/crypto"
 	"hybster/internal/message"
+	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
 	"hybster/internal/trinx"
 	"hybster/internal/wal"
@@ -37,12 +38,12 @@ type durability struct {
 // the seal store first (counter safety gates everything else), then the
 // log. Counter instances are created by the caller, which appends them
 // via addDurable.
-func openDurability(dataDir string) (*durability, error) {
+func openDurability(dataDir string, tel *telemetry.Telemetry) (*durability, error) {
 	seals, err := wal.NewSealStore(filepath.Join(dataDir, "seal"))
 	if err != nil {
 		return nil, err
 	}
-	log, recovered, err := wal.Open(filepath.Join(dataDir, "wal"), wal.Options{})
+	log, recovered, err := wal.Open(filepath.Join(dataDir, "wal"), wal.Options{Telemetry: tel})
 	if err != nil {
 		return nil, err
 	}
@@ -57,12 +58,13 @@ func openDurability(dataDir string) (*durability, error) {
 func (e *Engine) newCertifier(opts Options, pillar uint32, key crypto.Key) (Certifier, error) {
 	id := trinx.MakeInstanceID(opts.ID, pillar)
 	if e.dur == nil {
-		return trinx.New(opts.Platform, id, numCounters, key, opts.EnclaveCost), nil
+		return trinx.New(opts.Platform, id, numCounters, key, opts.EnclaveCost).Instrument(opts.Telemetry), nil
 	}
 	d, err := trinx.NewDurable(opts.Platform, id, numCounters, key, opts.EnclaveCost, e.dur.seals, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: recover counters of %s: %w", id, err)
 	}
+	d.Instrument(opts.Telemetry)
 	e.dur.durables = append(e.dur.durables, d)
 	return d, nil
 }
@@ -75,6 +77,8 @@ func (e *Engine) newCertifier(opts Options, pillar uint32, key crypto.Key) (Cert
 // state-transfer path.
 func (e *Engine) restore() {
 	rec := e.dur.recovered
+	e.trace(telemetry.EvRecovery, 0, uint64(e.exec.last.Load()),
+		0, fmt.Sprintf("wal replay: %d decisions", len(rec.Decisions)))
 	if ck := rec.Checkpoint; ck != nil {
 		e.coord.lastStable = stableCkpt{
 			order: ck.Order, digest: ck.Digest, proof: ck.Proof,

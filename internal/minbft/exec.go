@@ -6,6 +6,7 @@ import (
 	"hybster/internal/cop"
 	"hybster/internal/message"
 	"hybster/internal/statemachine"
+	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
 	"hybster/internal/trinx"
 )
@@ -50,6 +51,9 @@ func (l *execLoop) run() {
 				break
 			}
 			l.last.Store(uint64(ex.Order))
+			l.e.met.execBatches.Inc()
+			l.e.met.execRequests.Add(uint64(len(ex.Replies)))
+			l.e.trace(telemetry.EvExec, 0, uint64(ex.Order), "")
 			for _, r := range ex.Replies {
 				rep := &message.Reply{Replica: l.e.id, Client: r.Client, Seq: r.Seq, Result: r.Result}
 				d := rep.Digest()

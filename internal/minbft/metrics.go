@@ -1,0 +1,78 @@
+package minbft
+
+import (
+	"errors"
+
+	"hybster/internal/telemetry"
+)
+
+// engineMetrics holds the MinBFT replica's metric handles, resolved
+// once in New. All handles are nil-safe; the zero value means
+// telemetry is off. MinBFT has no pillars (the protocol is
+// sequential), so nothing carries a pillar label.
+type engineMetrics struct {
+	tel *telemetry.Telemetry
+
+	prepares     *telemetry.Counter
+	commits      *telemetry.Counter
+	committed    *telemetry.Counter
+	execBatches  *telemetry.Counter
+	execRequests *telemetry.Counter
+	ckptsOwn     *telemetry.Counter
+	ckptsStable  *telemetry.Counter
+	suspectsC    *telemetry.Counter
+	retransmits  *telemetry.Counter
+	zombiesC     *telemetry.Counter
+}
+
+func newEngineMetrics(tel *telemetry.Telemetry) engineMetrics {
+	if tel == nil {
+		return engineMetrics{}
+	}
+	return engineMetrics{
+		tel:          tel,
+		prepares:     tel.Counter("hybster_minbft_prepares_total", "own proposals multicast (leader PREPARE sent)"),
+		commits:      tel.Counter("hybster_minbft_commits_sent_total", "leader proposals acknowledged (COMMIT sent)"),
+		committed:    tel.Counter("hybster_minbft_committed_total", "instances committed and handed to execution"),
+		execBatches:  tel.Counter("hybster_minbft_exec_batches_total", "batches delivered to the application"),
+		execRequests: tel.Counter("hybster_minbft_exec_requests_total", "client requests executed"),
+		ckptsOwn:     tel.Counter("hybster_minbft_checkpoints_total", "own checkpoint announcements"),
+		ckptsStable:  tel.Counter("hybster_minbft_checkpoints_stable_total", "checkpoints that reached quorum stability"),
+		suspectsC:    tel.Counter("hybster_minbft_suspects_total", "leader-timeout suspicion events"),
+		retransmits:  tel.Counter("hybster_minbft_retransmits_total", "messages re-multicast from the resend ring"),
+		zombiesC:     tel.Counter("hybster_minbft_zombies_total", "replicas convicted of counter regression"),
+	}
+}
+
+// registerGauges installs the sampled gauges over live engine state;
+// re-registration on restart swaps the callbacks.
+func (e *Engine) registerGauges(tel *telemetry.Telemetry) {
+	if tel == nil {
+		return
+	}
+	tel.GaugeFunc("hybster_minbft_last_executed", "highest executed order number",
+		func() float64 { return float64(e.exec.last.Load()) })
+	tel.GaugeFunc("hybster_minbft_inbox_depth", "queued protocol events",
+		func() float64 { return float64(e.inbox.Len()) })
+	tel.GaugeFunc("hybster_minbft_history_len", "sent-message history length (§4.4's unbounded state)",
+		func() float64 { return float64(e.HistoryLen()) })
+}
+
+// trace records one protocol event on the engine's tracer (nil-safe).
+// MinBFT has a single processing unit, so the pillar field is 0.
+func (e *Engine) trace(kind telemetry.EventKind, view, slot uint64, note string) {
+	e.met.tel.Trace(kind, view, slot, 0, note)
+}
+
+// Telemetry returns the engine's telemetry bundle (nil when disabled).
+func (e *Engine) Telemetry() *telemetry.Telemetry { return e.met.tel }
+
+// Healthz reports process liveness for the ops server.
+func (e *Engine) Healthz() error {
+	select {
+	case <-e.stopTick:
+		return errors.New("minbft: engine stopped")
+	default:
+		return nil
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"hybster/internal/enclave"
 	"hybster/internal/message"
 	"hybster/internal/statemachine"
+	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
 	"hybster/internal/usig"
@@ -44,6 +45,9 @@ type Options struct {
 	Application statemachine.Application
 	Platform    *enclave.Platform
 	EnclaveCost enclave.CostModel
+	// Telemetry receives this replica's metrics and trace events; nil
+	// disables instrumentation.
+	Telemetry *telemetry.Telemetry
 }
 
 // slot tracks one ordered instance (identified by the leader prepare's
@@ -136,6 +140,7 @@ type Engine struct {
 	histLenSnapshot int
 
 	suspects atomic.Uint64 // leader-timeout events (diagnostics)
+	met      engineMetrics
 
 	// seenMAC[r] is a bounded ring of the UI MACs accepted from replica
 	// r, keyed by counter value. A replay carries the exact MAC we
@@ -179,8 +184,9 @@ func New(opts Options) (*Engine, error) {
 		id:        opts.ID,
 		ep:        opts.Endpoint,
 		ks:        crypto.NewKeyStore(opts.ID, key),
-		sig:       usig.New(opts.Platform, opts.ID, key, opts.EnclaveCost),
-		sigCkpt:   usig.New(opts.Platform, opts.ID|ckptIssuerFlag, key, opts.EnclaveCost),
+		sig:       usig.New(opts.Platform, opts.ID, key, opts.EnclaveCost).Instrument(opts.Telemetry),
+		sigCkpt:   usig.New(opts.Platform, opts.ID|ckptIssuerFlag, key, opts.EnclaveCost).Instrument(opts.Telemetry),
+		met:       newEngineMetrics(opts.Telemetry),
 		inbox:     cop.NewMailbox[any](),
 		expected:  make(map[uint32]uint64),
 		holdback:  make(map[uint32]map[uint64]message.Message),
@@ -202,6 +208,7 @@ func New(opts Options) (*Engine, error) {
 	for r := uint32(0); int(r) < opts.Config.N; r++ {
 		e.expected[r] = 1
 	}
+	e.registerGauges(opts.Telemetry)
 	return e, nil
 }
 
@@ -430,6 +437,7 @@ func (e *Engine) markZombie(from uint32) {
 		return
 	}
 	e.zombies[from] = true
+	e.met.zombiesC.Inc()
 	e.zombieMu.Lock()
 	e.zombieSet[from] = true
 	e.zombieMu.Unlock()
@@ -530,6 +538,8 @@ func (e *Engine) propose() {
 		}
 		prep.UI = ui
 		e.recordSent(ui, e.nextOrder, prep)
+		e.met.prepares.Inc()
+		e.trace(telemetry.EvPropose, uint64(e.view), uint64(e.nextOrder), "")
 		transport.Multicast(e.ep, e.cfg.N, prep)
 		// The leader's own prepare is processed inline (its UI is the
 		// next expected from itself).
@@ -576,6 +586,8 @@ func (e *Engine) handlePrepare(from uint32, p *message.MinPrepare) {
 		com.UI = ui
 		e.recordSent(ui, o, com)
 		s.acks[e.id] = true
+		e.met.commits.Inc()
+		e.trace(telemetry.EvCommit, uint64(e.view), uint64(o), "")
 		transport.Multicast(e.ep, e.cfg.N, com)
 	}
 	e.refresh(s)
@@ -613,6 +625,8 @@ func (e *Engine) refresh(s *slot) {
 	}
 	if s.committed && !s.executed {
 		s.executed = true
+		e.met.committed.Inc()
+		e.trace(telemetry.EvDeliver, uint64(e.view), uint64(s.order), "")
 		e.exec.inbox.Put(evExec{order: s.order, batch: s.batch})
 		if e.leader() == e.id {
 			e.mu.Lock()
@@ -640,6 +654,8 @@ func (e *Engine) checkpointDue(o timeline.Order, digest crypto.Digest) {
 	ck.Cert.Issuer = trinxIssuer(ui.Issuer)
 	ck.Cert.Value = ui.Counter
 	ck.Cert.MAC = ui.MAC
+	e.met.ckptsOwn.Inc()
+	e.trace(telemetry.EvCheckpoint, uint64(e.view), uint64(o), "")
 	transport.Multicast(e.ep, e.cfg.N, ck)
 	e.addCheckpoint(e.id, ck)
 }
@@ -664,6 +680,8 @@ func (e *Engine) addCheckpoint(from uint32, ck *message.Checkpoint) {
 	})
 	if stable != nil && stable.Order > e.low {
 		e.low = stable.Order
+		e.met.ckptsStable.Inc()
+		e.trace(telemetry.EvCkptStable, uint64(e.view), uint64(stable.Order), "")
 		e.ckptProof = stable.Proof
 		for o := range e.slots {
 			if o <= stable.Order {

@@ -7,6 +7,7 @@ import (
 
 	"hybster/internal/crypto"
 	"hybster/internal/message"
+	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
 	"hybster/internal/usig"
@@ -95,6 +96,8 @@ func (e *Engine) handleTick() {
 	if !ps.IsZero() && now.Sub(ps) > e.cfg.ViewChangeTimeout/2 &&
 		now.Sub(e.lastResend) >= e.cfg.ViewChangeTimeout/2 {
 		e.lastResend = now
+		e.met.retransmits.Add(uint64(len(e.resend)))
+		e.trace(telemetry.EvRetransmit, uint64(e.view), 0, "")
 		for _, m := range e.resend {
 			transport.Multicast(e.ep, e.cfg.N, m)
 		}
@@ -102,6 +105,8 @@ func (e *Engine) handleTick() {
 	if !e.pending {
 		if !ps.IsZero() && now.Sub(ps) > e.suspicionTimeout() {
 			e.suspects.Add(1)
+			e.met.suspectsC.Inc()
+			e.trace(telemetry.EvViewChange, uint64(e.view+1), 0, "suspect")
 			e.vcBackoff++
 			e.escalateReqViewChange(e.view + 1)
 			e.pendingSince = now

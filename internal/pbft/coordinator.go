@@ -7,6 +7,7 @@ import (
 	"hybster/internal/cop"
 	"hybster/internal/crypto"
 	"hybster/internal/message"
+	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
 	"hybster/internal/trinx"
@@ -143,6 +144,8 @@ func (c *coordinator) handleStable(s *checkpoint.Stable[*message.PBFTCheckpoint]
 		st.snapshot, st.rv = cand.snapshot, cand.rv
 	}
 	c.lastStable = st
+	c.e.met.ckptsStable.Inc()
+	c.e.trace(telemetry.EvCkptStable, uint64(c.curView), uint64(s.Order), 0, "")
 	for o := range c.candidates {
 		if o <= s.Order {
 			delete(c.candidates, o)
@@ -210,6 +213,8 @@ func (c *coordinator) handleStateReply(rep *message.StateReply) {
 	for _, p := range c.e.pillars {
 		p.inbox.Put(evAdvance{order: rep.CkptOrder})
 	}
+	c.e.met.stateXfers.Inc()
+	c.e.trace(telemetry.EvStateXfer, uint64(c.curView), uint64(rep.CkptOrder), 0, "")
 	c.e.noteProgress(false)
 }
 
@@ -271,6 +276,8 @@ func (c *coordinator) startViewChange(to timeline.View) {
 	c.pending = true
 	c.pendingTo = to
 	c.pendingSince = c.e.now()
+	c.e.met.viewChanges.Inc()
+	c.e.trace(telemetry.EvViewChange, uint64(to), 0, 0, "")
 	c.ownVC = map[timeline.View]*message.PBFTViewChange{to: vc}
 	c.storeVC(vc)
 	transport.Multicast(c.e.ep, c.e.cfg.N, vc)
@@ -486,6 +493,7 @@ func (c *coordinator) handleNewView(from uint32, nv *message.PBFTNewView) {
 func (c *coordinator) install(w timeline.View, startCkpt timeline.Order, pps []*message.PrePrepare, leader bool) {
 	c.curView = w
 	c.e.curView.Store(uint64(w))
+	c.e.trace(telemetry.EvNewView, uint64(w), uint64(startCkpt), 0, "")
 	c.pending = false
 	c.pendingTo = 0
 

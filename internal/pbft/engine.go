@@ -24,6 +24,7 @@ import (
 	"hybster/internal/enclave"
 	"hybster/internal/message"
 	"hybster/internal/statemachine"
+	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
 	"hybster/internal/trinx"
@@ -44,6 +45,9 @@ type Options struct {
 	Platform    *enclave.Platform
 	EnclaveCost enclave.CostModel
 	Now         func() time.Time
+	// Telemetry receives this replica's metrics and trace events; nil
+	// disables instrumentation.
+	Telemetry *telemetry.Telemetry
 }
 
 // Engine is one PBFT replica.
@@ -59,6 +63,7 @@ type Engine struct {
 	exec    *execLoop
 	coord   *coordinator
 	seq     *sequencer
+	met     engineMetrics
 
 	curView      atomic.Uint64
 	pendingSince atomic.Int64
@@ -84,23 +89,25 @@ func New(opts Options) (*Engine, error) {
 		ks:      crypto.NewKeyStore(opts.ID, key),
 		now:     opts.Now,
 		hybrid:  opts.Config.Protocol == config.HybridPBFT,
+		met:     newEngineMetrics(opts.Telemetry),
 		stopped: make(chan struct{}),
 	}
 	e.exec = newExecLoop(e, opts.Application)
 	var coordTx *trinx.TrInX
 	if e.hybrid {
-		coordTx = trinx.New(opts.Platform, trinx.MakeInstanceID(opts.ID, 0xffff), 1, key, opts.EnclaveCost)
+		coordTx = trinx.New(opts.Platform, trinx.MakeInstanceID(opts.ID, 0xffff), 1, key, opts.EnclaveCost).Instrument(opts.Telemetry)
 	}
 	e.coord = newCoordinator(e, coordTx)
 	e.pillars = make([]*pillar, opts.Config.Pillars)
 	for u := range e.pillars {
 		var tx *trinx.TrInX
 		if e.hybrid {
-			tx = trinx.New(opts.Platform, trinx.MakeInstanceID(opts.ID, uint32(u)), 1, key, opts.EnclaveCost)
+			tx = trinx.New(opts.Platform, trinx.MakeInstanceID(opts.ID, uint32(u)), 1, key, opts.EnclaveCost).Instrument(opts.Telemetry)
 		}
 		e.pillars[u] = newPillar(e, uint32(u), tx)
 	}
 	e.seq = newSequencer(e)
+	e.registerGauges(opts.Telemetry)
 	return e, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"hybster/internal/crypto"
 	"hybster/internal/message"
 	"hybster/internal/statemachine"
+	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
 )
 
@@ -72,6 +73,9 @@ func (l *execLoop) drain() {
 		}
 		progressed = true
 		l.last.Store(uint64(ex.Order))
+		l.e.met.execBatches.Inc()
+		l.e.met.execRequests.Add(uint64(len(ex.Replies)))
+		l.e.trace(telemetry.EvExec, 0, uint64(ex.Order), 0, "")
 		l.reply(ex)
 		if l.e.cfg.IsCheckpoint(ex.Order) {
 			l.e.coord.inbox.Put(evCkptCandidate{

@@ -5,6 +5,7 @@ import (
 	"hybster/internal/cop"
 	"hybster/internal/crypto"
 	"hybster/internal/message"
+	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
 	"hybster/internal/trinx"
@@ -71,6 +72,7 @@ type pillar struct {
 	idx   uint32
 	tx    *trinx.TrInX // nil for PBFTcop
 	inbox *cop.Mailbox[any]
+	met   pillarMetrics
 
 	view    timeline.View
 	aborted bool
@@ -86,6 +88,7 @@ func newPillar(e *Engine, idx uint32, tx *trinx.TrInX) *pillar {
 		idx:     idx,
 		tx:      tx,
 		inbox:   cop.NewMailbox[any](),
+		met:     newPillarMetrics(e.met.tel, idx),
 		slots:   make(map[timeline.Order]*pslot),
 		ckpts:   checkpoint.NewTracker[*message.PBFTCheckpoint](e.cfg.Quorum()),
 		ownCkpt: make(map[timeline.Order]*message.PBFTCheckpoint),
@@ -178,6 +181,8 @@ func (p *pillar) handlePropose(ev evPropose) {
 	}
 	s.prePrepare = pp
 	s.batchDigest = pp.BatchDigest()
+	p.met.preprepares.Inc()
+	p.e.trace(telemetry.EvPropose, uint64(ev.view), uint64(ev.order), p.idx, "")
 	transport.Multicast(p.e.ep, p.e.cfg.N, pp)
 	p.progress(s)
 }
@@ -225,6 +230,8 @@ func (p *pillar) acceptPrePrepare(pp *message.PrePrepare) {
 		}
 		prep.Proof = proof
 		s.prepares[p.e.id] = prep
+		p.met.prepares.Inc()
+		p.e.trace(telemetry.EvPrepare, uint64(pp.View), uint64(pp.Order), p.idx, "")
 		transport.Multicast(p.e.ep, p.e.cfg.N, prep)
 	}
 	p.progress(s)
@@ -293,6 +300,8 @@ func (p *pillar) progress(s *pslot) {
 		if err == nil {
 			com.Proof = proof
 			s.commits[p.e.id] = true
+			p.met.commits.Inc()
+			p.e.trace(telemetry.EvCommit, uint64(s.view), uint64(s.order), p.idx, "")
 			transport.Multicast(p.e.ep, p.e.cfg.N, com)
 		}
 	}
@@ -301,6 +310,8 @@ func (p *pillar) progress(s *pslot) {
 	}
 	if s.committed && !s.executed {
 		s.executed = true
+		p.met.committed.Inc()
+		p.e.trace(telemetry.EvDeliver, uint64(s.view), uint64(s.order), p.idx, "")
 		p.e.exec.inbox.Put(evExec{order: s.order, batch: s.prePrepare.Requests})
 		if p.e.cfg.ProposerOf(s.view, s.order) == p.e.id {
 			p.e.seq.credit(p.idx)
@@ -318,6 +329,8 @@ func (p *pillar) handleCkptDue(ev evCkptDue) {
 	}
 	ck.Proof = proof
 	p.ownCkpt[ev.order] = ck
+	p.e.met.ckptsOwn.Inc()
+	p.e.trace(telemetry.EvCheckpoint, uint64(p.view), uint64(ev.order), p.idx, "")
 	transport.Multicast(p.e.ep, p.e.cfg.N, ck)
 	p.addCheckpoint(ck)
 }
@@ -416,8 +429,12 @@ func (p *pillar) handleTick() {
 	}
 	if oldest != nil && oldest.prePrepare != nil {
 		if p.e.cfg.ProposerOf(oldest.view, oldest.order) == p.e.id {
+			p.met.retransmits.Inc()
+			p.e.trace(telemetry.EvRetransmit, uint64(oldest.view), uint64(oldest.order), p.idx, "")
 			transport.Multicast(p.e.ep, p.e.cfg.N, oldest.prePrepare)
 		} else if own, ok := oldest.prepares[p.e.id]; ok {
+			p.met.retransmits.Inc()
+			p.e.trace(telemetry.EvRetransmit, uint64(oldest.view), uint64(oldest.order), p.idx, "")
 			transport.Multicast(p.e.ep, p.e.cfg.N, own)
 		}
 	}

@@ -57,6 +57,67 @@ func TestRecorderConcurrent(t *testing.T) {
 	}
 }
 
+// TestRecorderReservoirBounded pins the memory bound and the sampling
+// accuracy: past the cap the recorder must hold exactly cap samples,
+// keep count/avg/max exact, and still estimate percentiles of the full
+// stream to within a few percent. Samples arrive in ascending order —
+// the worst case for a biased reservoir, since a naive "keep the first
+// cap" would report only the low tail.
+func TestRecorderReservoirBounded(t *testing.T) {
+	const cap, n = 2000, 200_000
+	r := NewRecorderCap(cap)
+	for i := 1; i <= n; i++ {
+		r.Record(time.Duration(i) * time.Microsecond)
+	}
+
+	r.mu.Lock()
+	held := len(r.samples)
+	r.mu.Unlock()
+	if held != cap {
+		t.Fatalf("reservoir holds %d samples, want exactly %d", held, cap)
+	}
+
+	s := r.Summarize()
+	if s.Count != n {
+		t.Fatalf("Count = %d, want %d (exact despite sampling)", s.Count, n)
+	}
+	if s.Max != n*time.Microsecond {
+		t.Fatalf("Max = %v, want %v (exact despite sampling)", s.Max, n*time.Microsecond)
+	}
+	wantAvg := time.Duration(n) * (time.Duration(n) + 1) / 2 * time.Microsecond / time.Duration(n)
+	if s.Avg != wantAvg {
+		t.Fatalf("Avg = %v, want %v (exact despite sampling)", s.Avg, wantAvg)
+	}
+
+	// The true stream is uniform over [1µs, 200ms], so percentile p sits
+	// at p*n µs. With 2000 uniformly sampled points the order-statistic
+	// error is well under 5%.
+	within := func(name string, got time.Duration, p float64) {
+		want := time.Duration(p*n) * time.Microsecond
+		lo, hi := want*95/100, want*105/100
+		if got < lo || got > hi {
+			t.Errorf("%s = %v, want %v ±5%% (reservoir biased?)", name, got, want)
+		}
+	}
+	within("P50", s.P50, 0.50)
+	within("P90", s.P90, 0.90)
+	within("P99", s.P99, 0.99)
+}
+
+// TestRecorderUnboundedCap pins that cap<=0 disables sampling.
+func TestRecorderUnboundedCap(t *testing.T) {
+	r := NewRecorderCap(0)
+	for i := 0; i < 3*DefaultCap/2; i++ {
+		r.Record(time.Microsecond)
+	}
+	r.mu.Lock()
+	held := len(r.samples)
+	r.mu.Unlock()
+	if held != 3*DefaultCap/2 {
+		t.Fatalf("unbounded recorder dropped samples: held %d of %d", held, 3*DefaultCap/2)
+	}
+}
+
 func TestThroughput(t *testing.T) {
 	if got := Throughput(1000, time.Second); got != 1000 {
 		t.Fatalf("Throughput = %f", got)

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets is one per possible bit length of a uint64 observation
+// plus bucket 0 for the value 0 — the histogram's memory is bounded by
+// construction (65 × 8 bytes of counters), the "bounded log-bucketed"
+// requirement.
+const numBuckets = 65
+
+// Histogram is a log₂-bucketed histogram of uint64 observations.
+// Bucket i counts observations with upper bound 2^i − 1 ... precisely:
+// bucket 0 holds the value 0 and bucket i (i ≥ 1) holds values in
+// [2^(i−1), 2^i). Observe is a single atomic add per call plus two for
+// count/sum; there is no lock and no allocation.
+//
+// Durations are observed in nanoseconds (ObserveDuration) and exposed
+// in seconds, matching the Prometheus convention for `_seconds`
+// histogram families.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // native units (ns for durations)
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a value to its bucket index: 0→0, v→bits.Len64(v).
+func bucketOf(v uint64) int { return bits.Len64(v) }
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in nanoseconds (negative clamps
+// to zero). Nil-safe.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+func (h *Histogram) countAndSum() (uint64, float64) {
+	if h == nil {
+		return 0, 0
+	}
+	return h.count.Load(), float64(h.sum.Load())
+}
+
+// nanosToSeconds converts native nanosecond observations to seconds
+// for the exposition. Dividing by 1e9 (exactly representable) yields
+// the correctly rounded value; multiplying by 1e-9 (not representable)
+// would leave float artifacts in the printed bounds.
+func nanosToSeconds(ns float64) float64 { return ns / 1e9 }
+
+// writePrometheus emits the histogram in Prometheus text format:
+// cumulative buckets with `le` upper bounds (in seconds — observations
+// are nanoseconds), then +Inf, sum, and count. Empty high buckets
+// above the largest observation are elided; the +Inf bucket always
+// closes the series.
+func (h *Histogram) writePrometheus(w io.Writer, name string, labels []Label) error {
+	var cum uint64
+	highest := 0
+	counts := [numBuckets]uint64{}
+	for i := 0; i < numBuckets; i++ {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] > 0 {
+			highest = i
+		}
+	}
+	for i := 0; i <= highest; i++ {
+		cum += counts[i]
+		// Bucket i holds values < 2^i ns, so the inclusive `le` bound
+		// is 2^i − 1 ns, exposed in seconds.
+		var le float64
+		if i == 0 {
+			le = 0
+		} else {
+			le = nanosToSeconds(float64(uint64(1)<<uint(i) - 1))
+		}
+		bl := append(append([]Label{}, labels...), L("le", formatFloat(le)))
+		if _, err := fmt.Fprintf(w, "%s %d\n", fullName(name+"_bucket", bl), cum); err != nil {
+			return err
+		}
+	}
+	infLabels := append(append([]Label{}, labels...), L("le", "+Inf"))
+	count, sum := h.countAndSum()
+	if _, err := fmt.Fprintf(w, "%s %d\n", fullName(name+"_bucket", infLabels), count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", fullName(name+"_sum", labels), formatFloat(nanosToSeconds(sum))); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", fullName(name+"_count", labels), count)
+	return err
+}

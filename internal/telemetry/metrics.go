@@ -1,0 +1,371 @@
+// Package telemetry is the repo's zero-dependency observability
+// subsystem: a metrics registry of atomic counters, gauges, and
+// bounded log-bucketed histograms; a fixed-size ring tracer of typed
+// protocol events; and an ops HTTP server exposing both (plus health
+// and pprof) to operators and the chaos/bench harnesses.
+//
+// Design constraints, in order:
+//
+//  1. A disabled metric must be almost free. Every accessor tolerates
+//     a nil receiver, so instrumented code writes `c.Inc()`
+//     unconditionally and pays a single predictable branch when
+//     telemetry is off (a few nanoseconds, no allocation, no lock).
+//  2. An enabled metric on the hot path is one atomic RMW. Metric
+//     handles are resolved once at component construction; Registry
+//     lookups never happen per event.
+//  3. stdlib only. The exposition format is Prometheus text (v0.0.4),
+//     readable by curl and scrapable by any collector, but nothing in
+//     this package imports outside the standard library.
+//
+// Naming scheme (see DESIGN.md §11): `hybster_<layer>_<what>_<unit>`,
+// counters end in `_total`, histograms of durations in `_seconds`.
+// Labels are for bounded, structural dimensions only (operation name,
+// pillar index, peer ID) — never unbounded values.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric label pair. Values must come from bounded sets
+// (pillar index, peer ID, operation name); request-derived values
+// would make cardinality unbounded.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing uint64. All methods are safe
+// on a nil receiver (no-ops), so callers never guard instrumentation.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64. Nil-safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// metricKind tags registry entries for exposition.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// metric is one registered instrument.
+type metric struct {
+	name   string // family name, no labels
+	labels []Label
+	full   string // name plus serialized labels; registry key
+	help   string
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      *gaugeFunc
+	hist    *Histogram
+}
+
+// gaugeFunc wraps a sampled callback behind a pointer so re-registering
+// (e.g. after an engine restart on the same registry) atomically swaps
+// the closure without racing a concurrent scrape.
+type gaugeFunc struct {
+	mu sync.Mutex
+	fn func() float64
+}
+
+func (g *gaugeFunc) call() float64 {
+	g.mu.Lock()
+	fn := g.fn
+	g.mu.Unlock()
+	if fn == nil {
+		return 0
+	}
+	return fn()
+}
+
+// Registry holds a replica's metrics. All methods are safe for
+// concurrent use and on a nil receiver (registration then returns nil
+// handles, which are themselves no-ops).
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// fullName serializes name plus sorted labels into the exposition (and
+// registry-key) form: name{k1="v1",k2="v2"}.
+func fullName(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// register returns the existing metric under (name, labels) or installs
+// a fresh one built by mk. Registration is idempotent: the same
+// identity always yields the same instrument, which is what lets an
+// engine rebuilt after a crash-restart keep counting into the same
+// series.
+func (r *Registry) register(name, help string, kind metricKind, labels []Label, mk func() *metric) *metric {
+	full := fullName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[full]; ok {
+		return m
+	}
+	m := mk()
+	m.name, m.labels, m.full, m.help, m.kind = name, labels, full, help, kind
+	r.metrics[full] = m
+	return m
+}
+
+// Counter registers (or finds) a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindCounter, labels, func() *metric {
+		return &metric{counter: &Counter{}}
+	}).counter
+}
+
+// Gauge registers (or finds) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindGauge, labels, func() *metric {
+		return &metric{gauge: &Gauge{}}
+	}).gauge
+}
+
+// GaugeFunc registers a gauge sampled via fn at scrape time.
+// Re-registering the same identity replaces the callback — an engine
+// rebuilt on the same registry (cluster Restart) swaps in closures over
+// its fresh state instead of leaving stale ones behind.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	m := r.register(name, help, kindGaugeFunc, labels, func() *metric {
+		return &metric{fn: &gaugeFunc{}}
+	})
+	if m.fn != nil {
+		m.fn.mu.Lock()
+		m.fn.fn = fn
+		m.fn.mu.Unlock()
+	}
+}
+
+// Histogram registers (or finds) a log-bucketed histogram.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindHistogram, labels, func() *metric {
+		return &metric{hist: newHistogram()}
+	}).hist
+}
+
+// snapshotLocked returns the registered metrics sorted by full name.
+func (r *Registry) sorted() []*metric {
+	r.mu.Lock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].full < out[j].full })
+	return out
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (families sorted by name; HELP/TYPE emitted once per family).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	lastFamily := ""
+	for _, m := range r.sorted() {
+		if m.name != lastFamily {
+			lastFamily = m.name
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, typeString(m.kind)); err != nil {
+				return err
+			}
+		}
+		switch m.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.full, m.counter.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.full, m.gauge.Value()); err != nil {
+				return err
+			}
+		case kindGaugeFunc:
+			if _, err := fmt.Fprintf(w, "%s %s\n", m.full, formatFloat(m.fn.call())); err != nil {
+				return err
+			}
+		case kindHistogram:
+			if err := m.hist.writePrometheus(w, m.name, m.labels); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func typeString(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// formatFloat renders floats the way Prometheus expects (no exponent
+// for the common cases, no trailing zeros).
+func formatFloat(f float64) string {
+	if math.IsInf(f, +1) {
+		return "+Inf"
+	}
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+// Snapshot flattens every metric into name→value pairs: counters and
+// gauges under their full name, histograms as _count and _sum (sum in
+// the histogram's native unit). The chaos harness and bench points
+// consume this form to assert on and archive internal state.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, m := range r.sorted() {
+		switch m.kind {
+		case kindCounter:
+			out[m.full] = float64(m.counter.Value())
+		case kindGauge:
+			out[m.full] = float64(m.gauge.Value())
+		case kindGaugeFunc:
+			out[m.full] = m.fn.call()
+		case kindHistogram:
+			count, sum := m.hist.countAndSum()
+			out[fullName(m.name+"_count", m.labels)] = float64(count)
+			out[fullName(m.name+"_sum", m.labels)] = sum
+		}
+	}
+	return out
+}
+
+// Value returns one metric's snapshot value by full name (0 when
+// absent); a convenience for tests asserting on a single series.
+func (r *Registry) Value(full string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	m, ok := r.metrics[full]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	switch m.kind {
+	case kindCounter:
+		return float64(m.counter.Value())
+	case kindGauge:
+		return float64(m.gauge.Value())
+	case kindGaugeFunc:
+		return m.fn.call()
+	case kindHistogram:
+		count, _ := m.hist.countAndSum()
+		return float64(count)
+	}
+	return 0
+}

@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety pins the package's core contract: every instrument and
+// the bundle itself are no-ops on nil, so instrumented code never
+// guards.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(9)
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram counted")
+	}
+	var tr *Tracer
+	tr.Record(EvCommit, 1, 2, 3, "")
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer retained events")
+	}
+	var tel *Telemetry
+	tel.Counter("x_total", "").Inc()
+	tel.Gauge("x", "").Set(1)
+	tel.GaugeFunc("y", "", func() float64 { return 1 })
+	tel.Histogram("z_seconds", "").Observe(1)
+	tel.Trace(EvExec, 0, 0, 0, "")
+	var reg *Registry
+	if reg.Counter("a", "") != nil || reg.Snapshot() != nil {
+		t.Fatal("nil registry returned live instruments")
+	}
+	if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistryIdempotent pins that re-registering the same identity
+// returns the same instrument (what keeps counters continuous across
+// an engine restart on one registry) and that label order does not
+// split series.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", L("op", "create"), L("pillar", "0"))
+	b := r.Counter("x_total", "", L("pillar", "0"), L("op", "create"))
+	if a != b {
+		t.Fatal("same identity produced two counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("counter not shared")
+	}
+	if got := r.Value(`x_total{op="create",pillar="0"}`); got != 1 {
+		t.Fatalf("Value lookup = %v, want 1", got)
+	}
+}
+
+// TestGaugeFuncReplacement pins that re-registering a GaugeFunc swaps
+// the callback — a restarted engine must not leave gauges sampling its
+// dead predecessor's state.
+func TestGaugeFuncReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("depth", "", func() float64 { return 1 })
+	r.GaugeFunc("depth", "", func() float64 { return 2 })
+	if got := r.Value("depth"); got != 2 {
+		t.Fatalf("gauge func = %v, want the replacement's 2", got)
+	}
+}
+
+// TestConcurrentRegistryMutationAndScrape hammers registration,
+// updates, and scrapes from many goroutines; run under -race this is
+// the registry's thread-safety pin.
+func TestConcurrentRegistryMutationAndScrape(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter(fmt.Sprintf("c%d_total", j%8), "", L("w", fmt.Sprint(i))).Inc()
+				r.Gauge(fmt.Sprintf("g%d", j%4), "").Set(int64(j))
+				r.Histogram("h_seconds", "").Observe(uint64(j))
+				r.GaugeFunc("f", "", func() float64 { return float64(j) })
+			}
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Snapshot()
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestHistogramBucketBoundaries pins the log₂ bucket mapping at its
+// edges: 0 lands in bucket 0, and each power of two opens a new
+// bucket (bucket i holds [2^(i−1), 2^i)).
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram()
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4},
+		{1023, 10}, {1024, 11},
+		{1<<32 - 1, 32}, {1 << 32, 33},
+		{^uint64(0), 64},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Fatalf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		h.Observe(c.v)
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(cases))
+	}
+	if got := h.buckets[2].Load(); got != 2 {
+		t.Fatalf("bucket 2 holds %d, want 2 (values 2 and 3)", got)
+	}
+	if got := h.buckets[64].Load(); got != 1 {
+		t.Fatalf("top bucket holds %d, want 1", got)
+	}
+}
+
+// TestPrometheusExpositionGolden is the format pin: a registry with
+// one of each instrument must render exactly this exposition text.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hybster_core_commits_total", "committed instances").Add(42)
+	r.Counter("hybster_trinx_ecalls_total", "ECalls by operation", L("op", "create_independent")).Add(7)
+	r.Counter("hybster_trinx_ecalls_total", "ECalls by operation", L("op", "verify")).Add(3)
+	r.Gauge("hybster_core_view", "current stable view").Set(2)
+	r.GaugeFunc("hybster_core_pillar_mailbox_depth", "queued events", func() float64 { return 5 }, L("pillar", "0"))
+	h := r.Histogram("hybster_wal_fsync_seconds", "fsync latency")
+	h.Observe(0)    // bucket 0 (le 0)
+	h.Observe(1)    // bucket 1 (le 1e-09)
+	h.Observe(1500) // bucket 11 (le 2.047e-06)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP hybster_core_commits_total committed instances`,
+		`# TYPE hybster_core_commits_total counter`,
+		`hybster_core_commits_total 42`,
+		`# HELP hybster_core_pillar_mailbox_depth queued events`,
+		`# TYPE hybster_core_pillar_mailbox_depth gauge`,
+		`hybster_core_pillar_mailbox_depth{pillar="0"} 5`,
+		`# HELP hybster_core_view current stable view`,
+		`# TYPE hybster_core_view gauge`,
+		`hybster_core_view 2`,
+		`# HELP hybster_trinx_ecalls_total ECalls by operation`,
+		`# TYPE hybster_trinx_ecalls_total counter`,
+		`hybster_trinx_ecalls_total{op="create_independent"} 7`,
+		`hybster_trinx_ecalls_total{op="verify"} 3`,
+		`# HELP hybster_wal_fsync_seconds fsync latency`,
+		`# TYPE hybster_wal_fsync_seconds histogram`,
+		`hybster_wal_fsync_seconds_bucket{le="0"} 1`,
+		`hybster_wal_fsync_seconds_bucket{le="1e-09"} 2`,
+		`hybster_wal_fsync_seconds_bucket{le="3e-09"} 2`,
+		`hybster_wal_fsync_seconds_bucket{le="7e-09"} 2`,
+		`hybster_wal_fsync_seconds_bucket{le="1.5e-08"} 2`,
+		`hybster_wal_fsync_seconds_bucket{le="3.1e-08"} 2`,
+		`hybster_wal_fsync_seconds_bucket{le="6.3e-08"} 2`,
+		`hybster_wal_fsync_seconds_bucket{le="1.27e-07"} 2`,
+		`hybster_wal_fsync_seconds_bucket{le="2.55e-07"} 2`,
+		`hybster_wal_fsync_seconds_bucket{le="5.11e-07"} 2`,
+		`hybster_wal_fsync_seconds_bucket{le="1.023e-06"} 2`,
+		`hybster_wal_fsync_seconds_bucket{le="2.047e-06"} 3`,
+		`hybster_wal_fsync_seconds_bucket{le="+Inf"} 3`,
+		`hybster_wal_fsync_seconds_sum 1.501e-06`,
+		`hybster_wal_fsync_seconds_count 3`,
+	}, "\n") + "\n"
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestSnapshotFlattening pins the Snapshot form the chaos harness and
+// bench points consume.
+func TestSnapshotFlattening(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(3)
+	r.Gauge("b", "").Set(-2)
+	h := r.Histogram("c_seconds", "")
+	h.Observe(10)
+	h.Observe(20)
+	snap := r.Snapshot()
+	if snap["a_total"] != 3 || snap["b"] != -2 {
+		t.Fatalf("scalar snapshot wrong: %v", snap)
+	}
+	if snap["c_seconds_count"] != 2 || snap["c_seconds_sum"] != 30 {
+		t.Fatalf("histogram snapshot wrong: %v", snap)
+	}
+}

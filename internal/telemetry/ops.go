@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// OpsOptions configure an ops server. Every field is optional; absent
+// pieces degrade to empty responses (and health checks to 200 OK).
+type OpsOptions struct {
+	// Telemetry supplies /metrics, /vars, and /trace.
+	Telemetry *Telemetry
+	// Healthz reports process liveness: non-nil error → 503.
+	Healthz func() error
+	// Readyz reports serving readiness (engine liveness): non-nil
+	// error → 503.
+	Readyz func() error
+	// Vars contributes extra named values to /vars (sampled per
+	// request), alongside the metrics snapshot.
+	Vars func() map[string]any
+	// TraceDumpDir is where POST /trace/dump writes ring dumps;
+	// empty disables the endpoint (405/404 semantics: 503 with a
+	// message).
+	TraceDumpDir string
+}
+
+// OpsServer is the replica's operations endpoint: Prometheus metrics,
+// JSON snapshots, health probes, trace dumps, and pprof — everything
+// needed to watch a replica from outside while a chaos run hammers it.
+type OpsServer struct {
+	opts OpsOptions
+	srv  *http.Server
+	ln   net.Listener
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewOpsServer assembles the server; call Serve to bind it.
+func NewOpsServer(opts OpsOptions) *OpsServer {
+	s := &OpsServer{opts: opts}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/vars", s.handleVars)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/trace/dump", s.handleTraceDump)
+	mux.HandleFunc("/healthz", probeHandler(opts.Healthz))
+	mux.HandleFunc("/readyz", probeHandler(opts.Readyz))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+// Serve binds addr (":0" picks a free port) and serves in the
+// background; it returns once the listener is up.
+func (s *OpsServer) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("telemetry: ops listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("telemetry: ops server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	go func() { _ = s.srv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound address ("" before Serve).
+func (s *OpsServer) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server.
+func (s *OpsServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.srv.Close()
+}
+
+func (s *OpsServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.opts.Telemetry.Metrics().WritePrometheus(w)
+}
+
+func (s *OpsServer) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	vars := map[string]any{
+		"metrics": s.opts.Telemetry.Metrics().Snapshot(),
+	}
+	if s.opts.Vars != nil {
+		for k, v := range s.opts.Vars() {
+			vars[k] = v
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(vars)
+}
+
+func (s *OpsServer) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.opts.Telemetry.Tracer().WriteJSON(w)
+}
+
+func (s *OpsServer) handleTraceDump(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.opts.TraceDumpDir == "" {
+		http.Error(w, "no trace dump directory configured", http.StatusServiceUnavailable)
+		return
+	}
+	path, err := s.opts.Telemetry.Tracer().DumpFile(s.opts.TraceDumpDir)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]string{"dumped": path})
+}
+
+// probeHandler turns a health callback into an HTTP probe: 200 "ok" or
+// 503 with the error text. A nil callback is always healthy.
+func probeHandler(probe func() error) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		if probe != nil {
+			if err := probe(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	}
+}

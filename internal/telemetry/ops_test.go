@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestOpsServerEndpoints boots a full ops server on a random port and
+// exercises every endpoint once.
+func TestOpsServerEndpoints(t *testing.T) {
+	tel := New("hybster")
+	tel.Counter("hybster_core_commits_total", "commits").Add(9)
+	tel.Trace(EvCommit, 1, 42, 0, "")
+	dumpDir := filepath.Join(t.TempDir(), "dumps")
+
+	ready := false
+	s := NewOpsServer(OpsOptions{
+		Telemetry: tel,
+		Healthz:   func() error { return nil },
+		Readyz: func() error {
+			if !ready {
+				return errors.New("engine not started")
+			}
+			return nil
+		},
+		Vars:         func() map[string]any { return map[string]any{"replica_id": 3} },
+		TraceDumpDir: dumpDir,
+	})
+	if err := s.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body := getBody(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "hybster_core_commits_total 9") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+
+	code, body = getBody(t, base+"/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/vars = %d", code)
+	}
+	var vars struct {
+		ReplicaID int                `json:"replica_id"`
+		Metrics   map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/vars not JSON: %v\n%s", err, body)
+	}
+	if vars.ReplicaID != 3 || vars.Metrics["hybster_core_commits_total"] != 9 {
+		t.Fatalf("/vars content wrong: %s", body)
+	}
+
+	code, body = getBody(t, base+"/trace")
+	if code != http.StatusOK || !strings.Contains(body, `"slot": 42`) {
+		t.Fatalf("/trace = %d:\n%s", code, body)
+	}
+
+	code, body = getBody(t, base+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, _ = getBody(t, base+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before start = %d, want 503", code)
+	}
+	ready = true
+	code, _ = getBody(t, base+"/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("/readyz after start = %d, want 200", code)
+	}
+
+	// Trace dump requires POST; GET is rejected.
+	code, _ = getBody(t, base+"/trace/dump")
+	if code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /trace/dump = %d, want 405", code)
+	}
+	resp, err := http.Post(base+"/trace/dump", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dumped struct {
+		Dumped string `json:"dumped"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dumped); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /trace/dump = %d", resp.StatusCode)
+	}
+	if _, err := os.Stat(dumped.Dumped); err != nil {
+		t.Fatalf("dump file missing: %v", err)
+	}
+
+	code, body = getBody(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK || body == "" {
+		t.Fatalf("pprof cmdline = %d", code)
+	}
+}
+
+// TestOpsServerDefaults pins the degraded modes: nil telemetry and nil
+// probes still serve valid (empty/healthy) responses, and trace dumps
+// without a directory are refused.
+func TestOpsServerDefaults(t *testing.T) {
+	s := NewOpsServer(OpsOptions{})
+	if err := s.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body := getBody(t, base+"/metrics")
+	if code != http.StatusOK || body != "" {
+		t.Fatalf("/metrics with nil telemetry = %d %q", code, body)
+	}
+	code, _ = getBody(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz with nil probe = %d", code)
+	}
+	resp, err := http.Post(base+"/trace/dump", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST /trace/dump without dir = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestOpsServerCloseBeforeServe pins that Close before Serve leaves no
+// dangling listener.
+func TestOpsServerCloseBeforeServe(t *testing.T) {
+	s := NewOpsServer(OpsOptions{})
+	s.Close()
+	if err := s.Serve("127.0.0.1:0"); err == nil {
+		t.Fatal("Serve after Close succeeded")
+	}
+	if s.Addr() != "" {
+		t.Fatalf("closed server reports address %q", s.Addr())
+	}
+}
+
+// BenchmarkCounterInc measures the enabled hot-path cost of one
+// counter increment (one atomic RMW).
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() == 0 {
+		b.Fatal("counter unused")
+	}
+}
+
+// BenchmarkCounterIncDisabled measures the disabled (nil receiver)
+// cost — the "few nanoseconds" budget from the package contract.
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve measures one histogram observation.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}
+
+var sinkString string
+
+// BenchmarkExposition measures a full scrape of a realistic registry.
+func BenchmarkExposition(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 40; i++ {
+		r.Counter(fmt.Sprintf("hybster_layer_metric%d_total", i), "help").Add(uint64(i))
+	}
+	h := r.Histogram("hybster_wal_fsync_seconds", "")
+	for i := 0; i < 1000; i++ {
+		h.Observe(uint64(i * 1000))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			b.Fatal(err)
+		}
+		sinkString = sb.String()
+	}
+}

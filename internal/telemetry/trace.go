@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// EventKind is the type tag of a traced protocol event. The taxonomy
+// (DESIGN.md §11) covers every protocol-visible transition a
+// post-mortem of a chaos run needs to reconstruct a replica's story.
+type EventKind uint8
+
+const (
+	EvPropose      EventKind = iota + 1 // own proposal certified (PREPARE sent)
+	EvPrepare                           // foreign PREPARE accepted
+	EvCommit                            // COMMIT sent or accepted
+	EvDeliver                           // instance committed, handed to execution
+	EvExec                              // batch executed by the application
+	EvCheckpoint                        // own CHECKPOINT announced
+	EvCkptStable                        // checkpoint reached quorum stability
+	EvViewChange                        // VIEW-CHANGE parts emitted (view abort)
+	EvNewView                           // new view installed
+	EvStateXfer                         // state transfer installed a snapshot
+	EvRetransmit                        // stalled instance re-multicast
+	EvRecovery                          // boot-time recovery milestone
+	EvSeal                              // trusted counter horizon sealed
+	EvCrash                             // harness-injected crash/restart marker
+)
+
+var eventKindNames = map[EventKind]string{
+	EvPropose:    "propose",
+	EvPrepare:    "prepare",
+	EvCommit:     "commit",
+	EvDeliver:    "deliver",
+	EvExec:       "exec",
+	EvCheckpoint: "checkpoint",
+	EvCkptStable: "ckpt-stable",
+	EvViewChange: "view-change",
+	EvNewView:    "new-view",
+	EvStateXfer:  "state-transfer",
+	EvRetransmit: "retransmit",
+	EvRecovery:   "recovery",
+	EvSeal:       "seal",
+	EvCrash:      "crash",
+}
+
+// String returns the taxonomy name of the kind.
+func (k EventKind) String() string {
+	if s, ok := eventKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalJSON renders the kind by name.
+func (k EventKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// Event is one traced protocol event, keyed the way the protocols
+// address work: protocol, view, slot (order number), pillar.
+type Event struct {
+	// Seq is the event's position in the replica's trace stream (total
+	// events recorded, not ring position); gaps after a dump reveal how
+	// much the ring dropped.
+	Seq uint64 `json:"seq"`
+	// TS is the wall-clock timestamp in nanoseconds since the epoch.
+	TS int64 `json:"ts_ns"`
+	// Protocol names the engine ("hybster", "pbft", "minbft").
+	Protocol string    `json:"protocol,omitempty"`
+	Kind     EventKind `json:"kind"`
+	View     uint64    `json:"view"`
+	Slot     uint64    `json:"slot"`
+	Pillar   uint32    `json:"pillar"`
+	// Note carries bounded free-form context ("from=2", "noop").
+	Note string `json:"note,omitempty"`
+}
+
+// Tracer is a fixed-size ring of protocol events. Recording is a
+// mutex-guarded copy into the ring — cheap enough for protocol-rate
+// events (not per-byte ones) — and, like every instrument in this
+// package, safe on a nil receiver so disabled tracing costs one
+// branch.
+type Tracer struct {
+	protocol string
+
+	mu   sync.Mutex
+	ring []Event
+	next uint64 // total events ever recorded
+}
+
+// DefaultTraceDepth is the ring size NewTracer uses for 0.
+const DefaultTraceDepth = 4096
+
+// NewTracer creates a tracer whose ring holds depth events (0 selects
+// DefaultTraceDepth). protocol tags every event.
+func NewTracer(protocol string, depth int) *Tracer {
+	if depth <= 0 {
+		depth = DefaultTraceDepth
+	}
+	return &Tracer{protocol: protocol, ring: make([]Event, depth)}
+}
+
+// Record appends one event, overwriting the oldest once the ring is
+// full. Nil-safe.
+func (t *Tracer) Record(kind EventKind, view, slot uint64, pillar uint32, note string) {
+	if t == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	t.mu.Lock()
+	t.ring[t.next%uint64(len(t.ring))] = Event{
+		Seq: t.next, TS: now, Protocol: t.protocol,
+		Kind: kind, View: view, Slot: slot, Pillar: pillar, Note: note,
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Len returns the number of events currently held (≤ ring depth).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next < uint64(len(t.ring)) {
+		return int(t.next)
+	}
+	return len(t.ring)
+}
+
+// Events returns the retained events oldest-first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := uint64(len(t.ring))
+	start := uint64(0)
+	count := t.next
+	if t.next > n {
+		start = t.next - n
+		count = n
+	}
+	out := make([]Event, 0, count)
+	for i := uint64(0); i < count; i++ {
+		out = append(out, t.ring[(start+i)%n])
+	}
+	return out
+}
+
+// traceDump is the JSON envelope of a dumped ring.
+type traceDump struct {
+	Protocol string  `json:"protocol"`
+	Dumped   int64   `json:"dumped_ts_ns"`
+	Total    uint64  `json:"total_events"`
+	Events   []Event `json:"events"`
+}
+
+// WriteJSON writes the retained events as a JSON document.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return json.NewEncoder(w).Encode(traceDump{})
+	}
+	events := t.Events()
+	t.mu.Lock()
+	d := traceDump{Protocol: t.protocol, Dumped: time.Now().UnixNano(), Total: t.next, Events: events}
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(d)
+}
+
+// DumpFile writes the ring to dir/trace-<unix-nanos>.json (creating
+// dir if needed) and returns the path; the post-mortem artifact the
+// SIGQUIT handler and POST /trace/dump produce.
+func (t *Tracer) DumpFile(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("telemetry: trace dump: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("trace-%d.json", time.Now().UnixNano()))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: trace dump: %w", err)
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return "", fmt.Errorf("telemetry: trace dump: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("telemetry: trace dump: %w", err)
+	}
+	return path, nil
+}

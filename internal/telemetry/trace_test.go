@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTracerRingWraparound fills a small ring past capacity and checks
+// the retained window is exactly the newest depth events, oldest-first,
+// with seq numbers that expose how much was dropped.
+func TestTracerRingWraparound(t *testing.T) {
+	const depth = 8
+	tr := NewTracer("hybster", depth)
+	const total = 21
+	for i := 0; i < total; i++ {
+		tr.Record(EvCommit, 1, uint64(i), 0, "")
+	}
+	if tr.Len() != depth {
+		t.Fatalf("Len = %d, want %d", tr.Len(), depth)
+	}
+	evs := tr.Events()
+	if len(evs) != depth {
+		t.Fatalf("Events returned %d, want %d", len(evs), depth)
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(total - depth + i)
+		if ev.Seq != wantSeq {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if ev.Slot != wantSeq {
+			t.Fatalf("event %d has slot %d, want %d (overwritten in order)", i, ev.Slot, wantSeq)
+		}
+		if ev.Protocol != "hybster" {
+			t.Fatalf("event %d lost protocol tag: %q", i, ev.Protocol)
+		}
+	}
+}
+
+// TestTracerBelowCapacity pins the pre-wrap behavior: all events
+// retained, in order, starting at seq 0.
+func TestTracerBelowCapacity(t *testing.T) {
+	tr := NewTracer("pbft", 16)
+	tr.Record(EvPropose, 0, 1, 0, "batch=4")
+	tr.Record(EvDeliver, 0, 1, 0, "")
+	evs := tr.Events()
+	if len(evs) != 2 || tr.Len() != 2 {
+		t.Fatalf("retained %d/%d events, want 2", len(evs), tr.Len())
+	}
+	if evs[0].Kind != EvPropose || evs[0].Seq != 0 || evs[0].Note != "batch=4" {
+		t.Fatalf("first event wrong: %+v", evs[0])
+	}
+	if evs[1].Kind != EvDeliver || evs[1].Seq != 1 {
+		t.Fatalf("second event wrong: %+v", evs[1])
+	}
+}
+
+// TestTracerConcurrentRecord hammers Record/Events/WriteJSON from many
+// goroutines; under -race this pins the tracer's thread safety.
+func TestTracerConcurrentRecord(t *testing.T) {
+	tr := NewTracer("hybster", 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(EvPrepare, uint64(w), uint64(i), uint32(w), "")
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			tr.Events()
+			_ = tr.WriteJSON(&strings.Builder{})
+		}
+	}()
+	wg.Wait()
+	if got := tr.Events()[len(tr.Events())-1].Seq; got != 4*500-1 {
+		t.Fatalf("newest seq = %d, want %d", got, 4*500-1)
+	}
+}
+
+// TestEventKindJSON pins the taxonomy names in the JSON encoding.
+func TestEventKindJSON(t *testing.T) {
+	for kind, name := range eventKindNames {
+		b, err := json.Marshal(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != fmt.Sprintf("%q", name) {
+			t.Fatalf("kind %d marshals to %s, want %q", kind, b, name)
+		}
+	}
+	if EventKind(200).String() != "kind(200)" {
+		t.Fatalf("unknown kind renders %q", EventKind(200).String())
+	}
+}
+
+// TestDumpFile round-trips a ring through DumpFile and checks the
+// envelope.
+func TestDumpFile(t *testing.T) {
+	tr := NewTracer("minbft", 4)
+	for i := 0; i < 6; i++ {
+		tr.Record(EvExec, 0, uint64(i), 0, "")
+	}
+	dir := filepath.Join(t.TempDir(), "dumps")
+	path, err := tr.DumpFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Protocol string `json:"protocol"`
+		Total    uint64 `json:"total_events"`
+		Events   []struct {
+			Seq  uint64 `json:"seq"`
+			Kind string `json:"kind"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if d.Protocol != "minbft" || d.Total != 6 || len(d.Events) != 4 {
+		t.Fatalf("envelope wrong: %+v", d)
+	}
+	if d.Events[0].Seq != 2 || d.Events[0].Kind != "exec" {
+		t.Fatalf("oldest retained event wrong: %+v", d.Events[0])
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hybster/internal/message"
+	"hybster/internal/telemetry"
 )
 
 // maxFrameSize bounds accepted wire frames (64 MiB), guarding against
@@ -38,6 +39,9 @@ type TCPOptions struct {
 	// peers heartbeat when idle, so a silent inbound connection is a
 	// dead one and is closed. Zero disables. Default 3×heartbeat.
 	ReadIdleTimeout time.Duration
+	// Telemetry receives the endpoint's metrics (hybster_transport_*);
+	// nil disables instrumentation.
+	Telemetry *telemetry.Telemetry
 }
 
 func (o TCPOptions) withDefaults() TCPOptions {
@@ -100,6 +104,10 @@ type peerLink struct {
 	id   uint32
 	addr string
 
+	// Per-peer metric handles (nil-safe; resolved in AddPeer).
+	mDrops   *telemetry.Counter
+	mRedials *telemetry.Counter
+
 	mu     sync.Mutex
 	queue  [][]byte
 	notify chan struct{}
@@ -116,6 +124,7 @@ func (l *peerLink) enqueue(frame []byte) {
 	if len(l.queue) >= l.ep.opts.QueueDepth {
 		l.queue = l.queue[1:]
 		l.state.Drops++
+		l.mDrops.Inc()
 	}
 	l.queue = append(l.queue, frame)
 	l.mu.Unlock()
@@ -203,6 +212,7 @@ func (l *peerLink) connect(backoff *time.Duration) (*tcpConn, bool) {
 		l.mu.Lock()
 		l.state.Attempts++
 		l.mu.Unlock()
+		l.mRedials.Inc()
 		// ±50% jitter decorrelates redials across the cluster.
 		sleep := *backoff/2 + time.Duration(rand.Int63n(int64(*backoff)))
 		if *backoff *= 2; *backoff > l.ep.opts.BackoffMax {
@@ -236,6 +246,7 @@ func (l *peerLink) drain(conn *tcpConn) {
 				if err := conn.writeFrame(l.ep.heartbeat); err != nil {
 					return
 				}
+				l.ep.met.heartbeats.Inc()
 				idle.Reset(l.ep.opts.HeartbeatInterval)
 				continue
 			case <-l.ep.done:
@@ -300,6 +311,34 @@ type TCPEndpoint struct {
 	handler   Handler
 	closed    bool
 	wg        sync.WaitGroup
+
+	met tcpMetrics
+}
+
+// tcpMetrics holds the endpoint-wide metric handles (all nil-safe;
+// zero value = instrumentation off). Per-peer drops, redials, and
+// queue depth live on the links.
+type tcpMetrics struct {
+	tel        *telemetry.Telemetry
+	sentFrames *telemetry.Counter
+	sentBytes  *telemetry.Counter
+	recvFrames *telemetry.Counter
+	recvBytes  *telemetry.Counter
+	heartbeats *telemetry.Counter
+}
+
+func newTCPMetrics(tel *telemetry.Telemetry) tcpMetrics {
+	if tel == nil {
+		return tcpMetrics{}
+	}
+	return tcpMetrics{
+		tel:        tel,
+		sentFrames: tel.Counter("hybster_transport_sent_frames_total", "frames queued or written outbound"),
+		sentBytes:  tel.Counter("hybster_transport_sent_bytes_total", "framed bytes queued or written outbound"),
+		recvFrames: tel.Counter("hybster_transport_recv_frames_total", "frames read inbound (including heartbeats)"),
+		recvBytes:  tel.Counter("hybster_transport_recv_bytes_total", "framed bytes read inbound"),
+		heartbeats: tel.Counter("hybster_transport_heartbeats_total", "heartbeat frames written on idle links"),
+	}
 }
 
 // NewTCP creates an endpoint for node id listening on listenAddr with
@@ -329,6 +368,7 @@ func NewTCPWithOptions(id uint32, listenAddr string, peers map[uint32]string, op
 		conns:     make(map[uint32]*tcpConn),
 		inbound:   make(map[net.Conn]*tcpConn),
 		replyPath: make(map[uint32]*tcpConn),
+		met:       newTCPMetrics(opts.Telemetry),
 	}
 	for pid, addr := range peers {
 		ep.AddPeer(pid, addr)
@@ -356,6 +396,16 @@ func (ep *TCPEndpoint) AddPeer(id uint32, addr string) {
 		return
 	}
 	l := &peerLink{ep: ep, id: id, addr: addr, notify: make(chan struct{}, 1)}
+	if tel := ep.met.tel; tel != nil {
+		peer := telemetry.L("peer", fmt.Sprint(id))
+		l.mDrops = tel.Counter("hybster_transport_drops_total",
+			"frames discarded by queue overflow", peer)
+		l.mRedials = tel.Counter("hybster_transport_redials_total",
+			"failed dial attempts", peer)
+		tel.GaugeFunc("hybster_transport_queue_depth",
+			"current outbound queue length",
+			func() float64 { return float64(l.snapshot().Queued) }, peer)
+	}
 	ep.links[id] = l
 	ep.wg.Add(1)
 	go l.run()
@@ -415,6 +465,8 @@ func (ep *TCPEndpoint) Send(to uint32, m message.Message) error {
 		ep.mu.Unlock()
 		return ErrClosed
 	}
+	ep.met.sentFrames.Inc()
+	ep.met.sentBytes.Add(uint64(len(frame)))
 	if l, ok := ep.links[to]; ok {
 		ep.mu.Unlock()
 		l.enqueue(frame)
@@ -534,6 +586,8 @@ func (ep *TCPEndpoint) readLoop(c *tcpConn, isInbound bool) {
 		if _, err := io.ReadFull(c, body); err != nil {
 			return
 		}
+		ep.met.recvFrames.Inc()
+		ep.met.recvBytes.Add(uint64(4 + n))
 		from := binary.BigEndian.Uint32(body[0:4])
 		if isInbound && !registered {
 			ep.mu.Lock()

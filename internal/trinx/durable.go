@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"hybster/internal/crypto"
 	"hybster/internal/enclave"
+	"hybster/internal/telemetry"
 )
 
 // Durability errors.
@@ -57,6 +59,11 @@ type DurableTrInX struct {
 	mu      sync.Mutex
 	horizon []uint64 // sealed upper bound per counter
 	resumed bool
+
+	// Telemetry (all nil-safe; set by Instrument).
+	seals   *telemetry.Counter
+	sealLat *telemetry.Histogram
+	tel     *telemetry.Telemetry
 }
 
 // NewDurable creates (or recovers) a durable TrInX instance. On a fresh
@@ -112,6 +119,28 @@ func NewDurable(p *enclave.Platform, id InstanceID, numCounters int, key crypto.
 		return nil, err
 	}
 	return d, nil
+}
+
+// Instrument attaches telemetry to the instance (ECall metrics on the
+// embedded TrInX plus seal/unseal accounting here) and returns the
+// receiver. The boot-time unseal predates instrumentation, so a
+// resumed instance records it retroactively.
+func (d *DurableTrInX) Instrument(tel *telemetry.Telemetry) *DurableTrInX {
+	d.TrInX.Instrument(tel)
+	if tel == nil {
+		return d
+	}
+	pillar := telemetry.L("pillar", fmt.Sprint(d.id.Pillar()))
+	d.seals = tel.Counter("hybster_trinx_seals_total",
+		"counter-horizon seal operations", pillar)
+	d.sealLat = tel.Histogram("hybster_trinx_seal_seconds",
+		"seal latency (encrypt + sink write + register commit)", pillar)
+	d.tel = tel
+	if d.resumed {
+		tel.Counter("hybster_trinx_unseals_total",
+			"sealed counter blobs recovered at boot", pillar).Inc()
+	}
+	return d
 }
 
 // Resumed reports whether the instance recovered sealed state rather
@@ -180,6 +209,7 @@ func (d *DurableTrInX) ensureMultiLocked(updates []CounterValue) error {
 }
 
 func (d *DurableTrInX) sealLocked(horizon []uint64) error {
+	start := time.Now()
 	blob, err := d.enc.Seal(encodeHorizon(horizon))
 	if err != nil {
 		return fmt.Errorf("trinx: seal: %w", err)
@@ -195,6 +225,9 @@ func (d *DurableTrInX) sealLocked(horizon []uint64) error {
 	if err := d.enc.CommitSeal(); err != nil {
 		return fmt.Errorf("trinx: commit seal register: %w", err)
 	}
+	d.seals.Inc()
+	d.sealLat.ObserveDuration(time.Since(start))
+	d.tel.Trace(telemetry.EvSeal, 0, 0, d.id.Pillar(), d.name)
 	return nil
 }
 

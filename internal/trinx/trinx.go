@@ -128,6 +128,7 @@ type state struct {
 type TrInX struct {
 	id  InstanceID
 	enc *enclave.Enclave
+	met *instruments // nil unless Instrument was called
 }
 
 // New creates a TrInX instance in its own enclave on platform p.
@@ -151,7 +152,7 @@ func newFromEnclave(id InstanceID, enc *enclave.Enclave) *TrInX {
 // foreign-function bridge cost (the "TrInX (JNI)" variant of Fig. 5a).
 // State is shared with the receiver.
 func (t *TrInX) WithBridge() *TrInX {
-	return &TrInX{id: t.id, enc: t.enc.WithBridge()}
+	return &TrInX{id: t.id, enc: t.enc.WithBridge(), met: t.met}
 }
 
 // ID returns the instance ID.
@@ -191,7 +192,7 @@ func multiMAC(key crypto.Key, kind Kind, issuer InstanceID, entries []CounterVal
 // new value must be >= the current one; the current value is recorded in
 // the certificate as Prev and the counter is advanced to value.
 func (t *TrInX) CreateContinuing(tc uint32, value uint64, msg crypto.Digest) (Certificate, error) {
-	res, err := t.enc.ECall(func(st any) (any, error) {
+	res, err := t.ecall(opCreateContinuing, func(st any) (any, error) {
 		s := st.(*state)
 		if int(tc) >= len(s.counters) {
 			return nil, fmt.Errorf("%w: %d of %d", ErrNoSuchCounter, tc, len(s.counters))
@@ -216,7 +217,7 @@ func (t *TrInX) CreateContinuing(tc uint32, value uint64, msg crypto.Digest) (Ce
 // strictly increasing value of counter tc, guaranteeing that no other
 // valid certificate for (tc, value) can ever exist.
 func (t *TrInX) CreateIndependent(tc uint32, value uint64, msg crypto.Digest) (Certificate, error) {
-	res, err := t.enc.ECall(func(st any) (any, error) {
+	res, err := t.ecall(opCreateIndependent, func(st any) (any, error) {
 		s := st.(*state)
 		if int(tc) >= len(s.counters) {
 			return nil, fmt.Errorf("%w: %d of %d", ErrNoSuchCounter, tc, len(s.counters))
@@ -240,7 +241,7 @@ func (t *TrInX) CreateIndependent(tc uint32, value uint64, msg crypto.Digest) (C
 // continuing certificate with tv' = tv that leaves counter tc unchanged
 // (§5.1, "Trusted MAC Certificates").
 func (t *TrInX) CreateTrustedMAC(tc uint32, msg crypto.Digest) (Certificate, error) {
-	res, err := t.enc.ECall(func(st any) (any, error) {
+	res, err := t.ecall(opCreateTrustedMAC, func(st any) (any, error) {
 		s := st.(*state)
 		if int(tc) >= len(s.counters) {
 			return nil, fmt.Errorf("%w: %d of %d", ErrNoSuchCounter, tc, len(s.counters))
@@ -262,7 +263,7 @@ func (t *TrInX) CreateTrustedMAC(tc uint32, msg crypto.Digest) (Certificate, err
 // Independent, strictly greater. All counters advance atomically — if
 // any entry is invalid, no counter moves.
 func (t *TrInX) CreateMulti(kind Kind, updates []CounterValue, msg crypto.Digest) (MultiCertificate, error) {
-	res, err := t.enc.ECall(func(st any) (any, error) {
+	res, err := t.ecall(opCreateMulti, func(st any) (any, error) {
 		s := st.(*state)
 		entries := make([]CounterValue, len(updates))
 		for i, u := range updates {
@@ -306,7 +307,7 @@ func (t *TrInX) CreateMulti(kind Kind, updates []CounterValue, msg crypto.Digest
 // verifier; the soundness argument is that no instance ever issues a
 // certificate naming a foreign issuer.
 func (t *TrInX) Verify(cert Certificate, msg crypto.Digest) error {
-	_, err := t.enc.ECall(func(st any) (any, error) {
+	_, err := t.ecall(opVerify, func(st any) (any, error) {
 		s := st.(*state)
 		expect := certMAC(s.key, cert.Kind, cert.Issuer, cert.Counter, cert.Value, cert.Prev, msg)
 		if expect != cert.MAC {
@@ -319,7 +320,7 @@ func (t *TrInX) Verify(cert Certificate, msg crypto.Digest) error {
 
 // VerifyMulti checks a multi-counter certificate over msg.
 func (t *TrInX) VerifyMulti(cert MultiCertificate, msg crypto.Digest) error {
-	_, err := t.enc.ECall(func(st any) (any, error) {
+	_, err := t.ecall(opVerifyMulti, func(st any) (any, error) {
 		s := st.(*state)
 		expect := multiMAC(s.key, cert.Kind, cert.Issuer, cert.Entries, msg)
 		if expect != cert.MAC {
@@ -334,7 +335,7 @@ func (t *TrInX) VerifyMulti(cert MultiCertificate, msg crypto.Digest) error {
 // enclave boundary. Intended for tests and diagnostics; protocol code
 // tracks values itself.
 func (t *TrInX) Counter(tc uint32) (uint64, error) {
-	res, err := t.enc.ECall(func(st any) (any, error) {
+	res, err := t.ecall(opCounterRead, func(st any) (any, error) {
 		s := st.(*state)
 		if int(tc) >= len(s.counters) {
 			return nil, fmt.Errorf("%w: %d of %d", ErrNoSuchCounter, tc, len(s.counters))

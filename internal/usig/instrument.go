@@ -1,0 +1,55 @@
+package usig
+
+import (
+	"time"
+
+	"hybster/internal/telemetry"
+)
+
+// USIG ECall operations, instrumented per operation like trinx.
+type op int
+
+const (
+	opCreateUI op = iota
+	opVerifyUI
+	opCounterRead
+	numOps
+)
+
+var opNames = [numOps]string{"create_ui", "verify_ui", "counter_read"}
+
+// instruments holds the per-operation handles, resolved once.
+type instruments struct {
+	calls [numOps]*telemetry.Counter
+	lat   [numOps]*telemetry.Histogram
+}
+
+// Instrument attaches telemetry to this USIG instance and returns it
+// for chaining. nil disables instrumentation (the default).
+func (u *USIG) Instrument(tel *telemetry.Telemetry) *USIG {
+	if tel == nil {
+		return u
+	}
+	m := &instruments{}
+	for o := op(0); o < numOps; o++ {
+		ol := telemetry.L("op", opNames[o])
+		m.calls[o] = tel.Counter("hybster_usig_ecalls_total", "ECalls into the USIG enclave", ol)
+		m.lat[o] = tel.Histogram("hybster_usig_ecall_seconds", "USIG ECall latency", ol)
+	}
+	u.met = m
+	return u
+}
+
+// ecall routes an enclave call through the instrumentation when
+// attached; the uninstrumented path pays one nil check and no clock
+// reads.
+func (u *USIG) ecall(o op, fn func(any) (any, error)) (any, error) {
+	if u.met == nil {
+		return u.enc.ECall(fn)
+	}
+	start := time.Now()
+	res, err := u.enc.ECall(fn)
+	u.met.calls[o].Inc()
+	u.met.lat[o].ObserveDuration(time.Since(start))
+	return res, err
+}

@@ -42,6 +42,7 @@ type state struct {
 type USIG struct {
 	id  uint32
 	enc *enclave.Enclave
+	met *instruments // nil = uninstrumented
 }
 
 // New creates the USIG of replica id on platform p with the group
@@ -66,7 +67,7 @@ func uiMAC(key crypto.Key, issuer uint32, counter uint64, msg crypto.Digest) cry
 // CreateUI increments the counter and certifies the assignment of the
 // new value to msg.
 func (u *USIG) CreateUI(msg crypto.Digest) (UI, error) {
-	res, err := u.enc.ECall(func(st any) (any, error) {
+	res, err := u.ecall(opCreateUI, func(st any) (any, error) {
 		s := st.(*state)
 		s.counter++
 		return UI{Issuer: s.id, Counter: s.counter, MAC: uiMAC(s.key, s.id, s.counter, msg)}, nil
@@ -80,7 +81,7 @@ func (u *USIG) CreateUI(msg crypto.Digest) (UI, error) {
 // VerifyUI checks that ui is a valid identifier for msg. Verification
 // enters the enclave so the shared key never leaves the trust boundary.
 func (u *USIG) VerifyUI(ui UI, msg crypto.Digest) error {
-	_, err := u.enc.ECall(func(st any) (any, error) {
+	_, err := u.ecall(opVerifyUI, func(st any) (any, error) {
 		s := st.(*state)
 		if uiMAC(s.key, ui.Issuer, ui.Counter, msg) != ui.MAC {
 			return nil, ErrBadUI
@@ -92,7 +93,7 @@ func (u *USIG) VerifyUI(ui UI, msg crypto.Digest) error {
 
 // Counter returns the current counter value (diagnostics/tests).
 func (u *USIG) Counter() (uint64, error) {
-	res, err := u.enc.ECall(func(st any) (any, error) {
+	res, err := u.ecall(opCounterRead, func(st any) (any, error) {
 		return st.(*state).counter, nil
 	})
 	if err != nil {

@@ -30,6 +30,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"hybster/internal/telemetry"
 )
 
 // Errors returned by the log.
@@ -49,6 +51,9 @@ type Options struct {
 	// default; negative disables batching and syncs on every append
 	// (slow, fully durable).
 	SyncInterval time.Duration
+	// Telemetry receives the log's metrics (hybster_wal_*); nil
+	// disables instrumentation.
+	Telemetry *telemetry.Telemetry
 }
 
 func (o Options) withDefaults() Options {
@@ -86,6 +91,33 @@ type Log struct {
 
 	stopFlush chan struct{}
 	flushDone chan struct{}
+
+	met walMetrics
+}
+
+// walMetrics holds the log's metric handles (all nil-safe; zero value
+// = instrumentation off).
+type walMetrics struct {
+	appends     *telemetry.Counter
+	appendBytes *telemetry.Counter
+	fsyncs      *telemetry.Counter
+	fsyncLat    *telemetry.Histogram
+	rotations   *telemetry.Counter
+	gcSegments  *telemetry.Counter
+}
+
+func newWALMetrics(tel *telemetry.Telemetry) walMetrics {
+	if tel == nil {
+		return walMetrics{}
+	}
+	return walMetrics{
+		appends:     tel.Counter("hybster_wal_appends_total", "records appended"),
+		appendBytes: tel.Counter("hybster_wal_append_bytes_total", "framed bytes appended"),
+		fsyncs:      tel.Counter("hybster_wal_fsyncs_total", "fsync calls on the active segment"),
+		fsyncLat:    tel.Histogram("hybster_wal_fsync_seconds", "fsync latency"),
+		rotations:   tel.Counter("hybster_wal_rotations_total", "segment rotations"),
+		gcSegments:  tel.Counter("hybster_wal_gc_segments_total", "segments deleted by checkpoint subsumption"),
+	}
 }
 
 // Recovered is what Open reconstructed from an existing log directory.
@@ -172,7 +204,14 @@ func Open(dir string, opts Options) (*Log, Recovered, error) {
 	sort.Slice(rec.Decisions, func(i, j int) bool { return rec.Decisions[i].Order < rec.Decisions[j].Order })
 
 	l := &Log{dir: dir, opts: opts, segMax: segMax,
-		stopFlush: make(chan struct{}), flushDone: make(chan struct{})}
+		stopFlush: make(chan struct{}), flushDone: make(chan struct{}),
+		met: newWALMetrics(opts.Telemetry)}
+	if tel := opts.Telemetry; tel != nil {
+		tel.Gauge("hybster_wal_recovered_decisions",
+			"decision records replayed at the last open").Set(int64(len(rec.Decisions)))
+		tel.Gauge("hybster_wal_recovered_order",
+			"highest order covered by recovered state").Set(int64(rec.LastOrder()))
+	}
 	next := uint64(1)
 	if n := len(segs); n > 0 {
 		next = segs[n-1] + 1
@@ -247,7 +286,9 @@ func (l *Log) AppendCheckpoint(c *CheckpointRec) error {
 		// Segments never tracked in segMax hold no decisions (only
 		// superseded checkpoints); they are subsumed too.
 		if s < keep && (dropSet[s] || !l.trackedSegment(s)) {
-			_ = os.Remove(filepath.Join(l.dir, segmentName(s)))
+			if os.Remove(filepath.Join(l.dir, segmentName(s))) == nil {
+				l.met.gcSegments.Inc()
+			}
 		}
 	}
 	return nil
@@ -352,14 +393,19 @@ func (l *Log) writeLocked(payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
+	l.met.appends.Inc()
+	l.met.appendBytes.Add(uint64(n))
 	return nil
 }
 
 func (l *Log) syncLocked() error {
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		l.syncErr = err
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.met.fsyncs.Inc()
+	l.met.fsyncLat.ObserveDuration(time.Since(start))
 	l.dirty = false
 	l.synced = l.size
 	return nil
@@ -374,6 +420,7 @@ func (l *Log) rotateLocked() error {
 			return fmt.Errorf("wal: rotate: %w", err)
 		}
 	}
+	l.met.rotations.Inc()
 	return l.openSegmentLocked(l.seq + 1)
 }
 

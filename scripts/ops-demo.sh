@@ -1,0 +1,62 @@
+#!/bin/sh
+# ops-demo boots a three-replica HybsterX group over loopback TCP with
+# ops endpoints enabled, commits client load against it, then scrapes
+# /metrics, /healthz, /readyz, and /trace from replica 0 — a smoke test
+# that the observability surface works end to end on a live cluster,
+# and a copy-paste example of how to watch a deployment.
+#
+# Usage: scripts/ops-demo.sh [bin-dir]   (default: ./bin)
+set -eu
+
+BIN=${1:-bin}
+PEERS=127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102
+OPS_BASE=7110
+
+mkdir -p "$BIN"
+go build -o "$BIN" ./cmd/hybster-replica ./cmd/hybster-client
+
+PIDS=""
+cleanup() {
+	for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+	wait 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+DATA=$(mktemp -d)
+R0PID=""
+for id in 0 1 2; do
+	"$BIN/hybster-replica" -id "$id" -peers "$PEERS" -protocol hybsterx \
+		-data "$DATA/replica-$id" -ops 127.0.0.1:$((OPS_BASE + id)) &
+	PIDS="$PIDS $!"
+	[ "$id" = 0 ] && R0PID=$!
+done
+sleep 1
+
+"$BIN/hybster-client" -peers "$PEERS" -protocol hybsterx -clients 4 -ops 500
+
+echo
+echo "== /healthz =="
+curl -fsS "http://127.0.0.1:$OPS_BASE/healthz"
+echo "== /readyz =="
+curl -fsS "http://127.0.0.1:$OPS_BASE/readyz"
+echo "== /metrics (consensus + enclave + wal + transport excerpt) =="
+curl -fsS "http://127.0.0.1:$OPS_BASE/metrics" |
+	grep -E '^hybster_(core_committed_total|core_exec_requests_total|trinx_ecalls_total\{op="create_independent"|wal_appends_total|wal_fsyncs_total|transport_sent_bytes_total)'
+echo "== /trace (last events) =="
+curl -fsS "http://127.0.0.1:$OPS_BASE/trace" | tail -c 400
+echo
+
+echo "== SIGQUIT trace dump =="
+kill -QUIT "$R0PID"
+sleep 1
+ls "$DATA/replica-0"/trace-*.json
+
+# The demo fails if the cluster committed nothing according to its own
+# telemetry — the same assertion the chaos harness makes in-process.
+committed=$(curl -fsS "http://127.0.0.1:$OPS_BASE/metrics" |
+	awk '/^hybster_core_committed_total/ {s += $NF} END {print (s > 0) ? "yes" : "no"}')
+if [ "$committed" != "yes" ]; then
+	echo "ops-demo: replica 0 telemetry reports zero committed instances" >&2
+	exit 1
+fi
+echo "ops-demo: OK (replica 0 telemetry shows committed instances)"
