@@ -3,7 +3,7 @@ GO ?= go
 # Per-target budget of the fuzz smoke (make fuzz-smoke / CI).
 FUZZTIME ?= 20s
 
-.PHONY: build test test-race vet chaos-smoke chaos-long fuzz-smoke bench bench-smoke ops-demo
+.PHONY: build test test-race vet chaos-smoke chaos-long fuzz-smoke bench bench-smoke bench-hotpath ops-demo
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshal$$' -fuzztime $(FUZZTIME) ./internal/message/
 	$(GO) test -run '^$$' -fuzz 'FuzzViewChangeRoundtrip$$' -fuzztime $(FUZZTIME) ./internal/message/
 	$(GO) test -run '^$$' -fuzz 'FuzzDecoderPrimitives$$' -fuzztime $(FUZZTIME) ./internal/message/
+	$(GO) test -run '^$$' -fuzz 'FuzzPooledBufferAliasing$$' -fuzztime $(FUZZTIME) ./internal/message/
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeRecord$$' -fuzztime $(FUZZTIME) ./internal/wal/
 
 bench:
@@ -44,6 +45,21 @@ bench:
 # in-test overhead assertion is what matters.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead' -benchtime 100x ./internal/trinx/
+
+# Hot-path benchmark suite: alloc/latency profile of cached digests,
+# marshal-once multicast, mailboxes, and the full prepare→commit→exec
+# path, plus a quick hybster-bench figure run. Writes BENCH_hotpath.txt
+# (standard go-test bench output) and BENCH_fig5c.json; CI uploads both
+# as artifacts. Tune iteration time with HOTPATH_BENCHTIME.
+HOTPATH_BENCHTIME ?= 0.3s
+
+bench-hotpath:
+	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchmem \
+		-benchtime $(HOTPATH_BENCHTIME) \
+		./internal/message/ ./internal/cop/ ./internal/transport/ ./internal/cluster/ \
+		| tee BENCH_hotpath.txt
+	$(GO) run ./cmd/hybster-bench -figure 5c -quick -duration 1s -clients 16 -json \
+		> BENCH_fig5c.json
 
 # Live observability demo: boots a 3-replica TCP group with -ops,
 # commits client load, and scrapes /metrics + health probes.

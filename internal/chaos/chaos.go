@@ -2,6 +2,8 @@ package chaos
 
 import (
 	"fmt"
+	"os"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -17,6 +19,7 @@ import (
 	"hybster/internal/minbft"
 	"hybster/internal/pbft"
 	"hybster/internal/statemachine"
+	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
 )
@@ -83,6 +86,10 @@ type Result struct {
 	// can assert on internal protocol behavior — e.g. that message loss
 	// actually forced retransmissions.
 	Telemetry []map[string]float64
+	// Traces is each replica's protocol-event trace ring at the end of
+	// the run (index = replica ID) — the post-mortem record a failed
+	// settle needs to reconstruct who stalled where.
+	Traces [][]telemetry.Event
 }
 
 // Metric sums one metric across every replica's snapshot, matching
@@ -131,7 +138,9 @@ type historyRegistry struct {
 }
 
 func newHistoryRegistry() *historyRegistry {
-	return &historyRegistry{samples: make(map[uint64]map[string]crypto.Digest)}
+	return &historyRegistry{
+		samples: make(map[uint64]map[string]crypto.Digest),
+	}
 }
 
 func (r *historyRegistry) record(inc string, count uint64, chain crypto.Digest) {
@@ -408,6 +417,9 @@ func Run(o Options) (*Result, error) {
 		healTarget, r.chaosCommits.Load())
 
 	if err := r.settle(healTarget); err != nil {
+		if os.Getenv("CHAOS_DEBUG_STACKS") != "" {
+			_ = pprof.Lookup("goroutine").WriteTo(os.Stderr, 1)
+		}
 		return r.result(), err
 	}
 
@@ -502,13 +514,14 @@ func (r *run) applySchedule() {
 // settle drives fresh load after the heal and enforces liveness: at
 // least MinPostHealCommits must succeed, and every replica that can
 // catch up must reach the pre-heal execution frontier. MinBFT is
-// exempt from the catch-up half: it has no state transfer, so a
-// replica that missed instances later garbage-collected by a view
-// change can never execute them, and its USIG replay protection makes
-// peers discard a restarted replica's fresh-counter messages — the
-// recovery gap §4.4 of the paper points out in prior hybrid
-// protocols. For MinBFT the harness therefore asserts safety and
-// post-heal commits only.
+// exempt from the catch-up half: a replica that rejoined after
+// amnesia is convicted of counter regression by its peers and refused
+// from ordering forever — the recovery gap §4.4 of the paper points
+// out in prior hybrid protocols — so even though checkpoint-anchored
+// state transfer lets fallen-behind replicas resume execution, a
+// convicted replica's frontier is not guaranteed to advance. For
+// MinBFT the harness therefore asserts safety and post-heal commits
+// only.
 func (r *run) settle(target timeline.Order) error {
 	r.mu.Lock()
 	probe, err := r.cl.NewClient(300 * time.Millisecond)
@@ -607,8 +620,10 @@ func (r *run) result() *Result {
 	sort.Slice(res.Restarted, func(i, j int) bool { return res.Restarted[i] < res.Restarted[j] })
 	res.Zombies = r.cl.Zombies()
 	res.Telemetry = make([]map[string]float64, r.cfg.N)
+	res.Traces = make([][]telemetry.Event, r.cfg.N)
 	for id := uint32(0); int(id) < r.cfg.N; id++ {
 		res.Telemetry[id] = r.cl.Telemetry(id).Metrics().Snapshot()
+		res.Traces[id] = r.cl.Telemetry(id).Tracer().Events()
 	}
 	for _, f := range r.faulty {
 		s := f.Stats()

@@ -96,6 +96,42 @@ func TestChaosTelemetryAssertsRetransmits(t *testing.T) {
 		res.Metric("hybster_trinx_ecalls_total"))
 }
 
+// TestChaosCorruptionDrivesVerifyRejections runs a corruption-heavy
+// plan and asserts on the parallel verification stage: flipped bytes
+// that land in a client authenticator produce frames that still parse
+// but fail MAC verification, and those must be rejected by the
+// off-pillar verify pool (hybster_verify_rejected_total) before they
+// reach a pillar mailbox — with the cluster still committing, since
+// rejection must never cost liveness. Safety is checked by the
+// harness's history comparison: had a corrupted request slipped past
+// the stage into ordering, replica states would diverge.
+func TestChaosCorruptionDrivesVerifyRejections(t *testing.T) {
+	plan := Plan{
+		Seed:    101,
+		N:       config.ReplicasFor(config.HybsterS, 1),
+		Horizon: chaosHorizon(),
+		Links:   []LinkFault{{From: Any, To: Any, Corrupt: 0.3}},
+	}
+	res, err := Run(Options{Protocol: config.HybsterS, Plan: &plan, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	if got := res.Metric("hybster_core_committed_total"); got == 0 {
+		t.Fatal("no instance committed under corruption")
+	}
+	if res.Faults.Corrupted == 0 {
+		t.Fatal("plan injected zero parseable corruptions — rate too low to exercise the verify stage")
+	}
+	if got := res.Metric("hybster_verify_rejected_total"); got == 0 {
+		t.Fatal("30% corruption drove zero verify-stage rejections — corrupted authenticators are not reaching (or not being caught by) the parallel verify pool")
+	}
+	t.Logf("telemetry: corrupted=%d verified=%v rejected=%v committed=%v",
+		res.Faults.Corrupted,
+		res.Metric("hybster_verify_verified_total"),
+		res.Metric("hybster_verify_rejected_total"),
+		res.Metric("hybster_core_committed_total"))
+}
+
 func TestChaosGenerateDeterministic(t *testing.T) {
 	a := Generate(42, 4, 2*time.Second)
 	b := Generate(42, 4, 2*time.Second)

@@ -1,0 +1,38 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"hybster/internal/cluster"
+	"hybster/internal/config"
+)
+
+// BenchmarkHotPathPrepareCommitExec measures the full ordering path —
+// client request in, prepare multicast, commit quorum, execution,
+// reply out — on an in-process HybsterX cluster. allocs/op covers
+// every replica plus the client, making it the end-to-end alloc
+// budget of the prepare→commit→exec hot path.
+func BenchmarkHotPathPrepareCommitExec(b *testing.B) {
+	cfg := config.Default(config.HybsterX)
+	cfg.ViewChangeTimeout = time.Minute // the benchmark must never view-change
+	c, err := cluster.NewHybster(cluster.Options{Config: cfg}, counterApp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.NewClient(time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	payload := []byte{1}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Invoke(payload, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

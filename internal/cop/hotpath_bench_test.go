@@ -1,0 +1,52 @@
+package cop
+
+import "testing"
+
+// Mailbox hot-path benchmarks: the dequeue cost at various standing
+// queue depths is what the ring-buffer representation is pinned
+// against (a shift-based queue pays O(depth) per Get).
+
+func BenchmarkHotPathMailboxPingPong(b *testing.B) {
+	m := NewMailbox[int]()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Put(i)
+		if _, ok := m.Get(); !ok {
+			b.Fatal("mailbox closed")
+		}
+	}
+}
+
+func BenchmarkHotPathMailboxBurst(b *testing.B) {
+	const burst = 256
+	m := NewMailbox[int]()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			m.Put(j)
+		}
+		for j := 0; j < burst; j++ {
+			if _, ok := m.Get(); !ok {
+				b.Fatal("mailbox closed")
+			}
+		}
+	}
+}
+
+func BenchmarkHotPathMailboxDeep(b *testing.B) {
+	const depth = 4096
+	m := NewMailbox[int]()
+	for j := 0; j < depth; j++ {
+		m.Put(j)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Put(i)
+		if _, ok := m.TryGet(); !ok {
+			b.Fatal("mailbox empty")
+		}
+	}
+}

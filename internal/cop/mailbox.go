@@ -15,12 +15,20 @@ package cop
 
 import "sync"
 
-// Mailbox is an unbounded MPSC queue. The zero value is not usable;
-// create with NewMailbox.
+// minMailboxCap is the smallest ring allocation; the ring shrinks back
+// to this size when it drains after a burst.
+const minMailboxCap = 16
+
+// Mailbox is an unbounded MPSC queue backed by a ring buffer: Put and
+// Get are O(1) at any depth (the previous slice-shift implementation
+// made every Get O(n) while a burst was queued). The zero value is not
+// usable; create with NewMailbox.
 type Mailbox[T any] struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []T
+	buf    []T // ring storage; len(buf) is the capacity
+	head   int // index of the oldest element
+	count  int // number of queued elements
 	closed bool
 }
 
@@ -31,12 +39,68 @@ func NewMailbox[T any]() *Mailbox[T] {
 	return m
 }
 
+// grow doubles the ring (or allocates the initial one), unwrapping the
+// elements into the new storage. Caller holds m.mu.
+func (m *Mailbox[T]) grow() {
+	newCap := 2 * len(m.buf)
+	if newCap < minMailboxCap {
+		newCap = minMailboxCap
+	}
+	buf := make([]T, newCap)
+	m.unwrapInto(buf)
+	m.buf = buf
+	m.head = 0
+}
+
+// unwrapInto copies the queued elements, oldest first, into dst.
+// Caller holds m.mu; len(dst) >= m.count.
+func (m *Mailbox[T]) unwrapInto(dst []T) {
+	n := copy(dst, m.buf[m.head:min(m.head+m.count, len(m.buf))])
+	if n < m.count {
+		copy(dst[n:], m.buf[:m.count-n])
+	}
+}
+
+// pop removes and returns the oldest element. Caller holds m.mu and
+// guarantees count > 0.
+func (m *Mailbox[T]) pop() T {
+	var zero T
+	v := m.buf[m.head]
+	m.buf[m.head] = zero // release the reference for the GC
+	m.head++
+	if m.head == len(m.buf) {
+		m.head = 0
+	}
+	m.count--
+	m.maybeShrink()
+	return v
+}
+
+// maybeShrink lets the ring return burst storage once the queue is
+// near-empty again (the steady state). Caller holds m.mu.
+func (m *Mailbox[T]) maybeShrink() {
+	if len(m.buf) > minMailboxCap && m.count <= len(m.buf)/4 && m.count <= minMailboxCap/2 {
+		buf := make([]T, minMailboxCap)
+		m.unwrapInto(buf)
+		m.buf = buf
+		m.head = 0
+	}
+}
+
 // Put enqueues v. Puts on a closed mailbox are silently discarded
 // (shutdown races are benign).
 func (m *Mailbox[T]) Put(v T) {
 	m.mu.Lock()
 	if !m.closed {
-		m.queue = append(m.queue, v)
+		if m.count == len(m.buf) {
+			m.grow()
+		}
+		i := m.head + m.count
+		if i >= len(m.buf) {
+			i -= len(m.buf)
+		}
+		m.buf[i] = v
+		m.count++
 		m.cond.Signal()
 	}
 	m.mu.Unlock()
@@ -47,18 +111,42 @@ func (m *Mailbox[T]) Put(v T) {
 func (m *Mailbox[T]) Get() (v T, ok bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.queue) == 0 && !m.closed {
+	for m.count == 0 && !m.closed {
 		m.cond.Wait()
 	}
-	if len(m.queue) == 0 {
+	if m.count == 0 {
 		return v, false
 	}
-	v = m.queue[0]
-	// Shift instead of reslice to let the backing array shrink; the
-	// queue is usually near-empty.
-	copy(m.queue, m.queue[1:])
-	m.queue = m.queue[:len(m.queue)-1]
-	return v, true
+	return m.pop(), true
+}
+
+// GetBatch dequeues up to cap(dst)-len(dst) queued values into dst in
+// FIFO order under one lock acquisition, blocking until at least one
+// value is available or the mailbox closes. It returns the extended
+// slice; a nil result with ok=false means closed and drained. Event
+// loops use it to drain bursts without paying one lock round-trip per
+// event.
+func (m *Mailbox[T]) GetBatch(dst []T) (out []T, ok bool) {
+	room := cap(dst) - len(dst)
+	if room <= 0 {
+		return dst, true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.count == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if m.count == 0 {
+		return dst, false
+	}
+	n := m.count
+	if n > room {
+		n = room
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, m.pop())
+	}
+	return dst, true
 }
 
 // TryGet dequeues without blocking; ok is false if the mailbox is
@@ -66,20 +154,17 @@ func (m *Mailbox[T]) Get() (v T, ok bool) {
 func (m *Mailbox[T]) TryGet() (v T, ok bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.queue) == 0 {
+	if m.count == 0 {
 		return v, false
 	}
-	v = m.queue[0]
-	copy(m.queue, m.queue[1:])
-	m.queue = m.queue[:len(m.queue)-1]
-	return v, true
+	return m.pop(), true
 }
 
 // Len returns the number of queued values.
 func (m *Mailbox[T]) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.queue)
+	return m.count
 }
 
 // Close wakes all blocked consumers; queued values may still be

@@ -75,6 +75,85 @@ func TestMailboxTryGet(t *testing.T) {
 	}
 }
 
+func TestMailboxRingWrapAndShrink(t *testing.T) {
+	m := NewMailbox[int]()
+	// Interleave puts and gets so head walks around the ring repeatedly
+	// and crosses several grow/shrink boundaries.
+	next, want := 0, 0
+	for round := 0; round < 50; round++ {
+		burst := (round % 37) + 1
+		for i := 0; i < burst; i++ {
+			m.Put(next)
+			next++
+		}
+		drain := burst
+		if round%3 == 0 {
+			drain = burst / 2 // leave a residue queued across rounds
+		}
+		for i := 0; i < drain; i++ {
+			v, ok := m.Get()
+			if !ok || v != want {
+				t.Fatalf("round %d: Get = %d,%v want %d", round, v, ok, want)
+			}
+			want++
+		}
+	}
+	for want < next {
+		v, ok := m.Get()
+		if !ok || v != want {
+			t.Fatalf("drain: Get = %d,%v want %d", v, ok, want)
+		}
+		want++
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after full drain", m.Len())
+	}
+	if len(m.buf) != minMailboxCap {
+		t.Fatalf("ring did not shrink: cap %d want %d", len(m.buf), minMailboxCap)
+	}
+}
+
+func TestMailboxGetBatch(t *testing.T) {
+	m := NewMailbox[int]()
+	for i := 0; i < 10; i++ {
+		m.Put(i)
+	}
+	batch, ok := m.GetBatch(make([]int, 0, 4))
+	if !ok || len(batch) != 4 {
+		t.Fatalf("GetBatch = %v,%v", batch, ok)
+	}
+	for i, v := range batch {
+		if v != i {
+			t.Fatalf("batch[%d] = %d", i, v)
+		}
+	}
+	// Remaining six fit in one oversized batch.
+	batch, ok = m.GetBatch(make([]int, 0, 16))
+	if !ok || len(batch) != 6 || batch[0] != 4 || batch[5] != 9 {
+		t.Fatalf("GetBatch = %v,%v", batch, ok)
+	}
+	// A full dst returns immediately without blocking.
+	full := []int{99}
+	if out, ok := m.GetBatch(full); !ok || len(out) != 1 {
+		t.Fatalf("GetBatch(full) = %v,%v", out, ok)
+	}
+	// Blocks until a value arrives.
+	done := make(chan []int)
+	go func() {
+		out, _ := m.GetBatch(make([]int, 0, 8))
+		done <- out
+	}()
+	m.Put(42)
+	if out := <-done; len(out) != 1 || out[0] != 42 {
+		t.Fatalf("blocking GetBatch = %v", out)
+	}
+	// Closed and drained: ok=false.
+	m.Close()
+	if _, ok := m.GetBatch(make([]int, 0, 8)); ok {
+		t.Fatal("GetBatch on closed empty mailbox returned ok")
+	}
+}
+
 func TestMailboxConcurrentProducers(t *testing.T) {
 	m := NewMailbox[int]()
 	const workers, per = 8, 1000

@@ -34,6 +34,7 @@ import (
 	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
+	"hybster/internal/verify"
 )
 
 // Trusted counter IDs within each pillar's TrInX instance.
@@ -92,6 +93,8 @@ type Engine struct {
 	exec    *execLoop
 	coord   *coordinator
 	seq     *sequencer
+	vpool   *verify.Pool
+	vord    *verify.Ordered
 	dur     *durability   // nil without a data dir
 	met     engineMetrics // zero value when telemetry is off
 
@@ -159,6 +162,8 @@ func New(opts Options) (*Engine, error) {
 		e.pillars[u] = newPillar(e, uint32(u), tx)
 	}
 	e.seq = newSequencer(e)
+	e.vpool = verify.NewPool(e.ks, 0, opts.Telemetry)
+	e.vord = verify.NewOrdered(e.vpool)
 	e.registerGauges(opts.Telemetry)
 	if e.dur != nil {
 		e.restore()
@@ -210,6 +215,7 @@ func (e *Engine) stop(graceful bool) {
 	e.stopOnce.Do(func() {
 		close(e.stopped)
 		_ = e.ep.Close()
+		e.vpool.Close()
 		for _, p := range e.pillars {
 			p.inbox.Close()
 		}
@@ -229,20 +235,40 @@ func (e *Engine) stop(graceful bool) {
 }
 
 // route dispatches an inbound message to the component that owns it.
-// It runs on transport goroutines and does no crypto.
+// It runs on transport goroutines and does no crypto itself: messages
+// carrying client authenticators are verified on the parallel stage,
+// everything else passes through unchecked — but all of it flows
+// through the stage's ordered front, so events reach the mailboxes in
+// exact arrival order just as an inline check would deliver them.
 func (e *Engine) route(from uint32, m message.Message) {
 	switch v := m.(type) {
 	case *message.Request:
-		e.seq.admit(v)
+		e.vord.Submit(from, []*message.Request{v}, func(ok bool) {
+			if ok {
+				e.seq.admitVerified(v)
+			}
+		})
 	case *message.Prepare:
-		e.pillarFor(v.Order).inbox.Put(inMsg{from, m})
+		if len(v.Requests) == 0 {
+			e.vord.Pass(from, func() { e.pillarFor(v.Order).inbox.Put(inMsg{from: from, msg: m}) })
+			return
+		}
+		e.vord.Submit(from, v.Requests, func(ok bool) {
+			// A batch with a forged client authenticator dies here,
+			// before it can occupy a pillar.
+			if ok {
+				e.pillarFor(v.Order).inbox.Put(inMsg{from: from, msg: m, verified: true})
+			}
+		})
 	case *message.Commit:
-		e.pillarFor(v.Order).inbox.Put(inMsg{from, m})
+		e.vord.Pass(from, func() { e.pillarFor(v.Order).inbox.Put(inMsg{from: from, msg: m}) })
 	case *message.Checkpoint:
-		e.pillars[e.cfg.CheckpointPillar(v.Order)%uint32(len(e.pillars))].inbox.Put(inMsg{from, m})
+		e.vord.Pass(from, func() {
+			e.pillars[e.cfg.CheckpointPillar(v.Order)%uint32(len(e.pillars))].inbox.Put(inMsg{from: from, msg: m})
+		})
 	case *message.ViewChange, *message.NewView, *message.NewViewAck,
 		*message.StateRequest, *message.StateReply:
-		e.coord.inbox.Put(inMsg{from, m})
+		e.vord.Pass(from, func() { e.coord.inbox.Put(inMsg{from: from, msg: m}) })
 	default:
 		// Unknown or foreign-protocol message: drop.
 	}
@@ -270,9 +296,13 @@ func (e *Engine) noteProgress(stillPending bool) {
 }
 
 // inMsg is an inbound protocol message tagged with its sender.
+// verified marks messages whose client authenticators were already
+// checked by the parallel verify stage; pillars re-check sequentially
+// when it is unset.
 type inMsg struct {
-	from uint32
-	msg  message.Message
+	from     uint32
+	msg      message.Message
+	verified bool
 }
 
 // --- sequencer -------------------------------------------------------------
@@ -320,11 +350,19 @@ func (s *sequencer) firstSlot(v timeline.View, after timeline.Order) timeline.Or
 // admit ingests a client request from the transport. It verifies the
 // client's authenticator; valid requests are queued for proposing if
 // this replica is a proposer, or forwarded to the current leader
-// otherwise.
+// otherwise. The engine's route normally runs the verification on the
+// parallel verify stage and calls admitVerified directly; admit is the
+// sequential path for callers that bypass the stage.
 func (s *sequencer) admit(r *message.Request) {
 	if !crypto.VerifyAuthenticator(s.e.ks, r.Auth, r.Digest()) {
 		return
 	}
+	s.admitVerified(r)
+}
+
+// admitVerified queues or relays a request whose client authenticator
+// has already been checked.
+func (s *sequencer) admitVerified(r *message.Request) {
 	s.e.noteWork()
 	v := s.e.View()
 	if !s.e.cfg.RotateLeader && s.e.cfg.LeaderOf(v) != s.e.id {

@@ -73,7 +73,7 @@ func TestVerifyPrepareChecks(t *testing.T) {
 	}
 
 	// Wrong sender.
-	if err := follower.verifyPrepare(tx, good, 2); !errors.Is(err, errBadSender) {
+	if err := follower.verifyPrepare(tx, good, 2, false); !errors.Is(err, errBadSender) {
 		t.Fatalf("wrong sender: %v", err)
 	}
 	// Wrong certificate kind.
@@ -88,10 +88,15 @@ func TestVerifyPrepareChecks(t *testing.T) {
 	if err := follower.verifyPrepareEmbedded(tx, &bad, 0); err == nil {
 		t.Fatal("value mismatch accepted")
 	}
-	// Tampered batch: digest no longer matches the certificate.
-	bad = *good
-	bad.Requests = []*message.Request{{Client: 1, Seq: 9, Payload: []byte("swapped")}}
-	if err := follower.verifyPrepareEmbedded(tx, &bad, 0); err == nil {
+	// Tampered batch: digest no longer matches the certificate. Built
+	// fresh (not copied) so the digest is computed from the swapped
+	// content — a receiver decoding a tampered wire message always
+	// starts from a cold digest cache.
+	swapped := &message.Prepare{
+		View: good.View, Order: good.Order, Cert: good.Cert,
+		Requests: []*message.Request{{Client: 1, Seq: 9, Payload: []byte("swapped")}},
+	}
+	if err := follower.verifyPrepareEmbedded(tx, swapped, 0); err == nil {
 		t.Fatal("batch swap accepted")
 	}
 }
@@ -110,7 +115,7 @@ func TestVerifyPrepareRejectsBadClientAuth(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.Cert = cert
-	if err := follower.verifyPrepare(follower.pillars[0].tx, p, 0); !errors.Is(err, errBadAuth) {
+	if err := follower.verifyPrepare(follower.pillars[0].tx, p, 0, false); !errors.Is(err, errBadAuth) {
 		t.Fatalf("err = %v, want errBadAuth", err)
 	}
 }

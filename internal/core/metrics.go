@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"hybster/internal/message"
 	"hybster/internal/telemetry"
 )
 
@@ -82,6 +83,19 @@ func (e *Engine) registerGauges(tel *telemetry.Telemetry) {
 		func() float64 { return float64(e.exec.inbox.Len()) })
 	tel.GaugeFunc("hybster_core_coord_mailbox_depth", "queued coordinator events",
 		func() float64 { return float64(e.coord.inbox.Len()) })
+	registerMarshalGauges(tel)
+}
+
+// registerMarshalGauges exposes the codec's marshal-pool statistics.
+// The counters are process-global (the encoder pool is shared by every
+// engine in the process), so in-process multi-replica clusters see the
+// same totals on each replica's registry — that is fine for the pool
+// hit-rate the gauges exist to answer for.
+func registerMarshalGauges(tel *telemetry.Telemetry) {
+	tel.GaugeFunc("hybster_marshal_total", "messages marshaled (process-wide)",
+		func() float64 { total, _ := message.MarshalStats(); return float64(total) })
+	tel.GaugeFunc("hybster_marshal_pool_hits", "marshals served by a pooled encoder (process-wide)",
+		func() float64 { _, hits := message.MarshalStats(); return float64(hits) })
 }
 
 // trace records one protocol event on the engine's tracer (nil-safe).

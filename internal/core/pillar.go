@@ -136,46 +136,56 @@ func (p *pillar) firstClassOrder(after timeline.Order) timeline.Order {
 
 // run is the pillar event loop.
 func (p *pillar) run() {
+	// Drain the mailbox in batches: under load one lock round-trip
+	// fetches a burst of events instead of paying the lock per event.
+	batch := make([]any, 0, 32)
 	for {
-		ev, ok := p.inbox.Get()
+		events, ok := p.inbox.GetBatch(batch[:0])
 		if !ok {
 			return
 		}
-		switch v := ev.(type) {
-		case inMsg:
-			p.handleMessage(v.from, v.msg)
-		case evPropose:
-			p.handlePropose(v)
-		case evCkptDue:
-			p.handleCkptDue(v)
-		case evAdvance:
-			p.advance(v.order)
-		case evCollectVC:
-			p.handleCollectVC(v)
-		case evRepropose:
-			p.handleRepropose(v)
-		case evInstallView:
-			p.handleInstallView(v)
-		case evTick:
-			p.handleTick()
+		for _, ev := range events {
+			p.handleEvent(ev)
 		}
 	}
 }
 
-func (p *pillar) handleMessage(from uint32, m message.Message) {
-	switch v := m.(type) {
+func (p *pillar) handleEvent(ev any) {
+	switch v := ev.(type) {
+	case inMsg:
+		p.handleMessage(v)
+	case evPropose:
+		p.handlePropose(v)
+	case evCkptDue:
+		p.handleCkptDue(v)
+	case evAdvance:
+		p.advance(v.order)
+	case evCollectVC:
+		p.handleCollectVC(v)
+	case evRepropose:
+		p.handleRepropose(v)
+	case evInstallView:
+		p.handleInstallView(v)
+	case evTick:
+		p.handleTick()
+	}
+}
+
+func (p *pillar) handleMessage(in inMsg) {
+	switch v := in.msg.(type) {
 	case *message.Prepare:
-		p.handlePrepare(from, v)
+		p.handlePrepare(in.from, v, in.verified)
 	case *message.Commit:
-		p.handleCommit(from, v)
+		p.handleCommit(in.from, v)
 	case *message.Checkpoint:
-		p.handleCheckpoint(from, v)
+		p.handleCheckpoint(in.from, v)
 	}
 }
 
 // handlePrepare processes a leader proposal for one of this pillar's
-// instances.
-func (p *pillar) handlePrepare(from uint32, m *message.Prepare) {
+// instances. authVerified reports that the parallel verify stage has
+// already checked the batch's client authenticators.
+func (p *pillar) handlePrepare(from uint32, m *message.Prepare, authVerified bool) {
 	if m.View != p.view || p.aborted {
 		return
 	}
@@ -189,7 +199,7 @@ func (p *pillar) handlePrepare(from uint32, m *message.Prepare) {
 	if _, dup := p.pendingPreps[m.Order]; dup {
 		return
 	}
-	if err := p.e.verifyPrepare(p.tx, m, from); err != nil {
+	if err := p.e.verifyPrepare(p.tx, m, from, authVerified); err != nil {
 		return
 	}
 	p.e.noteWork()

@@ -41,8 +41,11 @@ var (
 // proposer of (view, order), the certificate must be an independent
 // counter certificate with the predefined value [view|order] issued by
 // the TrInX instance of the responsible pillar, and every request in
-// the batch must carry a valid client authenticator.
-func (e *Engine) verifyPrepare(tx Certifier, m *message.Prepare, from uint32) error {
+// the batch must carry a valid client authenticator. authVerified
+// skips the (parallelizable) client-authenticator loop for batches the
+// verify stage already cleared; the structural and certificate checks
+// always run on the pillar.
+func (e *Engine) verifyPrepare(tx Certifier, m *message.Prepare, from uint32, authVerified bool) error {
 	proposer := e.cfg.ProposerOf(m.View, m.Order)
 	if from != proposer {
 		return errBadSender
@@ -50,9 +53,11 @@ func (e *Engine) verifyPrepare(tx Certifier, m *message.Prepare, from uint32) er
 	if err := e.verifyPrepareEmbedded(tx, m, proposer); err != nil {
 		return err
 	}
-	for _, r := range m.Requests {
-		if !crypto.VerifyAuthenticator(e.ks, r.Auth, r.Digest()) {
-			return errBadAuth
+	if !authVerified {
+		for _, r := range m.Requests {
+			if !crypto.VerifyAuthenticator(e.ks, r.Auth, r.Digest()) {
+				return errBadAuth
+			}
 		}
 	}
 	return nil

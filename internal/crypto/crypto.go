@@ -15,6 +15,9 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"hash"
+	"sync"
+	"sync/atomic"
 )
 
 // DigestSize is the size of a message digest in bytes (SHA-256).
@@ -85,23 +88,78 @@ func NewKeyFromSeed(seed string) Key {
 	return Key(d[:])
 }
 
+// hmacPools caches reusable HMAC states per key: hmac.New allocates
+// two SHA-256 states plus the HMAC shell on every call, which was the
+// single largest allocator on the agreement hot path (every request
+// authenticator, reply authenticator, and trusted-counter certificate
+// pays one HMAC). Reset restores a pooled state to its keyed initial
+// state, so reuse is exact. The key count is capped — a process talks
+// to a bounded replica group but an unbounded client population, and
+// past the cap Sum falls back to the allocating path rather than
+// letting the pool map grow without bound.
+var (
+	hmacPools    sync.Map // string(key) → *sync.Pool of hash.Hash
+	hmacPoolKeys atomic.Int64
+)
+
+const maxHMACPoolKeys = 4096
+
+// hmacPool returns the state pool for key k, or nil when the cache is
+// full and k is not already cached.
+func hmacPool(k Key) *sync.Pool {
+	if p, ok := hmacPools.Load(string(k)); ok {
+		return p.(*sync.Pool)
+	}
+	if hmacPoolKeys.Load() >= maxHMACPoolKeys {
+		return nil
+	}
+	kc := append(Key(nil), k...) // private copy: the pool outlives the caller's slice
+	p, loaded := hmacPools.LoadOrStore(string(kc), &sync.Pool{
+		New: func() any { return hmac.New(sha256.New, kc) },
+	})
+	if !loaded {
+		hmacPoolKeys.Add(1)
+	}
+	return p.(*sync.Pool)
+}
+
 // Sum computes the HMAC-SHA256 of data under key k.
 func (k Key) Sum(data []byte) MAC {
-	h := hmac.New(sha256.New, k)
-	h.Write(data)
 	var m MAC
+	p := hmacPool(k)
+	if p == nil {
+		h := hmac.New(sha256.New, k)
+		h.Write(data)
+		h.Sum(m[:0])
+		return m
+	}
+	h := p.Get().(hash.Hash)
+	h.Reset()
+	h.Write(data)
 	h.Sum(m[:0])
+	p.Put(h)
 	return m
 }
 
 // SumParts computes the HMAC-SHA256 over the concatenation of parts.
 func (k Key) SumParts(parts ...[]byte) MAC {
-	h := hmac.New(sha256.New, k)
-	for _, p := range parts {
-		h.Write(p)
-	}
 	var m MAC
+	p := hmacPool(k)
+	if p == nil {
+		h := hmac.New(sha256.New, k)
+		for _, part := range parts {
+			h.Write(part)
+		}
+		h.Sum(m[:0])
+		return m
+	}
+	h := p.Get().(hash.Hash)
+	h.Reset()
+	for _, part := range parts {
+		h.Write(part)
+	}
 	h.Sum(m[:0])
+	p.Put(h)
 	return m
 }
 
@@ -136,7 +194,16 @@ func U32(v uint32) []byte {
 type KeyStore struct {
 	self   uint32
 	master Key
+
+	// pairs memoizes derived pair keys: every authenticator creation
+	// and verification needs one, and re-deriving costs an HMAC plus
+	// an allocation. Bounded like the HMAC pool — replica pairs are
+	// few, client pairs unbounded.
+	pairs     sync.Map // uint64(lo)<<32|hi → Key
+	pairCount atomic.Int64
 }
+
+const maxCachedPairKeys = 4096
 
 // ClientIDBase is the first node ID assigned to clients. IDs below it
 // identify replicas.
@@ -158,8 +225,20 @@ func (ks *KeyStore) PairKey(a, b uint32) Key {
 	if lo > hi {
 		lo, hi = hi, lo
 	}
+	ck := uint64(lo)<<32 | uint64(hi)
+	if k, ok := ks.pairs.Load(ck); ok {
+		return k.(Key)
+	}
 	d := ks.master.SumParts([]byte("pair"), U32(lo), U32(hi))
-	return Key(d[:])
+	k := Key(append([]byte(nil), d[:]...))
+	if ks.pairCount.Load() >= maxCachedPairKeys {
+		return k
+	}
+	if actual, loaded := ks.pairs.LoadOrStore(ck, k); loaded {
+		return actual.(Key)
+	}
+	ks.pairCount.Add(1)
+	return k
 }
 
 // KeyFor returns the key shared between this node and peer.

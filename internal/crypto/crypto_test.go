@@ -2,6 +2,9 @@ package crypto
 
 import (
 	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -172,5 +175,64 @@ func TestU64U32(t *testing.T) {
 	}
 	if bytes.Equal(U64(1), U64(2)) {
 		t.Fatal("distinct values encode equal")
+	}
+}
+
+// TestPooledHMACMatchesFresh pins the HMAC state pool to the reference
+// construction: a pooled, Reset state must produce byte-identical MACs
+// to a fresh hmac.New, including across reuse and concurrent callers.
+func TestPooledHMACMatchesFresh(t *testing.T) {
+	k := NewKeyFromSeed("pool")
+	ref := func(data []byte) MAC {
+		h := hmac.New(sha256.New, k)
+		h.Write(data)
+		var m MAC
+		h.Sum(m[:0])
+		return m
+	}
+	// Sequential reuse: the second call hits the pooled state.
+	for i := 0; i < 8; i++ {
+		data := []byte{byte(i), 0xfe, byte(i * 3)}
+		if got, want := k.Sum(data), ref(data); got != want {
+			t.Fatalf("iteration %d: pooled Sum = %s want %s", i, got, want)
+		}
+	}
+	// Concurrent use must never cross-contaminate states.
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				data := []byte{byte(w), byte(i), byte(w ^ i)}
+				if got, want := k.Sum(data), ref(data); got != want {
+					select {
+					case errs <- got.String() + " != " + want.String():
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, bad := <-errs; bad {
+		t.Fatalf("concurrent pooled Sum diverged: %s", msg)
+	}
+}
+
+// TestPairKeyCached checks the pair-key cache returns the same derived
+// key as an uncached derivation and is stable across calls.
+func TestPairKeyCached(t *testing.T) {
+	ks := NewKeyStore(0, NewKeyFromSeed("cache"))
+	first := ks.PairKey(0, 2)
+	d := ks.master.SumParts([]byte("pair"), U32(0), U32(2))
+	if !bytes.Equal(first, d[:]) {
+		t.Fatal("cached pair key differs from direct derivation")
+	}
+	if again := ks.PairKey(2, 0); !bytes.Equal(first, again) {
+		t.Fatal("pair key not symmetric/stable across cache hits")
 	}
 }

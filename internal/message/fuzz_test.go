@@ -144,6 +144,62 @@ func FuzzViewChangeRoundtrip(f *testing.F) {
 	})
 }
 
+// FuzzPooledBufferAliasing is the copy-on-decode regression guard for
+// the transport's pooled read buffers. The TCP read loop hands the
+// decoder a buffer it will recycle (and overwrite) as soon as
+// Unmarshal returns, so no decoded message may alias the input: every
+// var-length field must be cloned during decode. The fuzzer decodes
+// from a scratch buffer, scribbles over that buffer, and requires the
+// message's wire form (which walks every field, including digests of
+// payloads and nested certificates) to be unchanged.
+func FuzzPooledBufferAliasing(f *testing.F) {
+	for _, m := range allMessages() {
+		f.Add(Marshal(m))
+	}
+	for _, m := range viewChangeSeeds() {
+		f.Add(Marshal(m))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode from a private copy that plays the role of the pooled
+		// buffer: after Unmarshal it gets recycled for "another frame".
+		pooled := make([]byte, len(data))
+		copy(pooled, data)
+		m, err := Unmarshal(pooled)
+		if err != nil {
+			return
+		}
+		before := Marshal(m)
+		for i := range pooled {
+			pooled[i] ^= 0xa5 // recycle: overwrite with unrelated bytes
+		}
+		after := Marshal(m)
+		if !bytes.Equal(before, after) {
+			t.Fatalf("decoded %T aliases its input buffer: wire form changed after the buffer was recycled", m)
+		}
+	})
+}
+
+// TestDecodeDoesNotAliasInput is the deterministic slice of the
+// aliasing fuzzer above: every known message type, decoded, must
+// survive its source buffer being zeroed.
+func TestDecodeDoesNotAliasInput(t *testing.T) {
+	for _, m := range allMessages() {
+		buf := Marshal(m)
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		before := Marshal(got)
+		for i := range buf {
+			buf[i] = 0
+		}
+		if !bytes.Equal(before, Marshal(got)) {
+			t.Fatalf("%T retains references into its input buffer", m)
+		}
+	}
+}
+
 // FuzzDecoderPrimitives stresses the length-prefixed primitives
 // directly.
 func FuzzDecoderPrimitives(f *testing.F) {

@@ -1,0 +1,105 @@
+package message
+
+import (
+	"fmt"
+	"testing"
+
+	"hybster/internal/crypto"
+	"hybster/internal/timeline"
+	"hybster/internal/trinx"
+)
+
+// Hot-path microbenchmarks for the message layer: digest computation
+// and marshaling of the messages that dominate the ordering path.
+// BenchmarkHotPath* results (allocs/op in particular) are the
+// before/after evidence for hot-path optimization work.
+
+func benchRequests(n int) []*Request {
+	ks := crypto.NewKeyStore(crypto.ClientIDBase, crypto.NewKeyFromSeed("bench"))
+	reqs := make([]*Request, n)
+	for i := range reqs {
+		r := &Request{
+			Client:  crypto.ClientIDBase,
+			Seq:     uint64(i + 1),
+			Payload: []byte(fmt.Sprintf("payload-%04d", i)),
+		}
+		r.Auth = crypto.NewAuthenticator(ks, r.Digest(), 3)
+		reqs[i] = r
+	}
+	return reqs
+}
+
+func benchPrepare(batch int) *Prepare {
+	return &Prepare{
+		View:     1,
+		Order:    7,
+		Requests: benchRequests(batch),
+		Cert: trinx.Certificate{
+			Kind: trinx.Independent, Issuer: 1, Counter: 2,
+			Value: uint64(timeline.Pack(1, 7)),
+		},
+	}
+}
+
+func BenchmarkHotPathRequestDigest(b *testing.B) {
+	r := benchRequests(1)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Digest()
+	}
+}
+
+func BenchmarkHotPathPrepareDigest(b *testing.B) {
+	p := benchPrepare(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Digest()
+	}
+}
+
+func BenchmarkHotPathBatchDigest(b *testing.B) {
+	reqs := benchRequests(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BatchDigest(reqs)
+	}
+}
+
+func BenchmarkHotPathMarshalPrepare(b *testing.B) {
+	p := benchPrepare(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Marshal(p)
+	}
+}
+
+func BenchmarkHotPathMarshalCommit(b *testing.B) {
+	c := &Commit{
+		View: 1, Order: 7, Replica: 2,
+		BatchDigest: crypto.Hash([]byte("batch")),
+		Cert: trinx.Certificate{
+			Kind: trinx.Independent, Issuer: 1, Counter: 3,
+			Value: uint64(timeline.Pack(1, 7)),
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Marshal(c)
+	}
+}
+
+func BenchmarkHotPathUnmarshalPrepare(b *testing.B) {
+	raw := Marshal(benchPrepare(16))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package message
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestWireSizeMatchesMarshal pins every wireSize sizer against its
+// encoder over the full message corpus: the exact-size precompute must
+// equal what Marshal actually produced, and the output buffer must
+// carry zero spare capacity (one allocation at the final size).
+func TestWireSizeMatchesMarshal(t *testing.T) {
+	for _, m := range allMessages() {
+		buf := Marshal(m)
+		if want := 1 + wireSize(m); len(buf) != want {
+			t.Errorf("%T: wireSize predicts %d bytes, Marshal wrote %d", m, want, len(buf))
+		}
+		if cap(buf) != len(buf) {
+			t.Errorf("%T: marshal buffer has spare capacity (len %d, cap %d)", m, len(buf), cap(buf))
+		}
+	}
+}
+
+func TestMarshalStatsCount(t *testing.T) {
+	t0, _ := MarshalStats()
+	for i := 0; i < 8; i++ {
+		Marshal(sampleRequest(i))
+	}
+	t1, h1 := MarshalStats()
+	if t1-t0 < 8 {
+		t.Fatalf("marshal total advanced by %d, want >= 8", t1-t0)
+	}
+	if h1 > t1 {
+		t.Fatalf("pool hits %d exceed total %d", h1, t1)
+	}
+}
+
+// TestHotPathAllocs pins the allocation behavior the hot-path overhaul
+// bought: a memoized digest costs zero allocations on a warm cache, and
+// a marshal with a warm encoder pool costs exactly one (the returned
+// buffer).
+func TestHotPathAllocs(t *testing.T) {
+	p := samplePrepare(7)
+	_ = p.BatchDigest()
+	_ = p.Digest() // warm the caches
+	if n := testing.AllocsPerRun(100, func() { _ = p.Digest() }); n != 0 {
+		t.Errorf("cached Prepare.Digest allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = p.BatchDigest() }); n != 0 {
+		t.Errorf("cached Prepare.BatchDigest allocates %.1f/op, want 0", n)
+	}
+	r := sampleRequest(7)
+	_ = r.Digest()
+	if n := testing.AllocsPerRun(100, func() { _ = r.Digest() }); n != 0 {
+		t.Errorf("cached Request.Digest allocates %.1f/op, want 0", n)
+	}
+
+	c := &Commit{View: 1, Order: 2, Replica: 3, Cert: sampleCert(1)}
+	Marshal(c) // warm the encoder pool
+	if n := testing.AllocsPerRun(100, func() { _ = Marshal(c) }); n > 1 {
+		t.Errorf("Marshal(Commit) allocates %.1f/op, want <= 1", n)
+	}
+	Marshal(p)
+	if n := testing.AllocsPerRun(100, func() { _ = Marshal(p) }); n > 1 {
+		t.Errorf("Marshal(Prepare) allocates %.1f/op, want <= 1", n)
+	}
+}
+
+// TestDigestConcurrent exercises the first-writer-wins cache fill from
+// many goroutines; run under -race this pins the atomic publication
+// protocol in digestCache.
+func TestDigestConcurrent(t *testing.T) {
+	p := samplePrepare(11)
+	want := samplePrepare(11).Digest()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if p.Digest() != want {
+					t.Error("concurrent digest mismatch")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPrecomputeDigestWarmsCache verifies the sender-side precompute
+// leaves a warm cache behind for every digest-bearing type.
+func TestPrecomputeDigestWarmsCache(t *testing.T) {
+	for _, m := range allMessages() {
+		PrecomputeDigest(m)
+		switch m.(type) {
+		case *StateRequest, *StateReply:
+			continue // no digest
+		}
+		if n := testing.AllocsPerRun(10, func() { PrecomputeDigest(m) }); n != 0 {
+			t.Errorf("%T: PrecomputeDigest after warmup allocates %.1f/op, want 0", m, n)
+		}
+	}
+}

@@ -2,13 +2,42 @@ package message
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"hybster/internal/timeline"
 )
 
+// encoderPool recycles Encoder shells between Marshal calls. Only the
+// struct is pooled — the output buffer is freshly allocated at its
+// exact final size (computed by wireSize) and handed to the caller, so
+// a marshalled frame never aliases pooled storage. With a warm pool a
+// Marshal therefore costs exactly one allocation: the returned buffer.
+var encoderPool sync.Pool
+
+var (
+	marshalTotal    atomic.Uint64
+	marshalPoolHits atomic.Uint64
+)
+
+// MarshalStats reports how many Marshal calls have run process-wide and
+// how many of them were served a recycled encoder from the pool. The
+// counters feed the telemetry gauges registered by the engine.
+func MarshalStats() (total, poolHits uint64) {
+	return marshalTotal.Load(), marshalPoolHits.Load()
+}
+
 // Marshal serializes any protocol message, prefixed with its type tag.
+// The returned buffer is sized exactly and owned by the caller.
 func Marshal(m Message) []byte {
-	e := NewEncoder(256)
+	marshalTotal.Add(1)
+	e, _ := encoderPool.Get().(*Encoder)
+	if e == nil {
+		e = &Encoder{}
+	} else {
+		marshalPoolHits.Add(1)
+	}
+	e.buf = make([]byte, 0, 1+wireSize(m))
 	e.U8(uint8(m.MsgType()))
 	switch v := m.(type) {
 	case *Request:
@@ -56,7 +85,10 @@ func Marshal(m Message) []byte {
 	default:
 		panic(fmt.Sprintf("message: cannot marshal %T", m))
 	}
-	return e.Bytes()
+	out := e.Bytes()
+	e.buf = nil
+	encoderPool.Put(e)
+	return out
 }
 
 // Unmarshal parses a message serialized by Marshal.

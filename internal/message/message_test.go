@@ -239,12 +239,15 @@ func TestUnmarshalUnknownType(t *testing.T) {
 }
 
 func TestDigestsChangeWithContent(t *testing.T) {
+	// Digests are memoized and messages are immutable once digested, so
+	// every variant is constructed fresh rather than mutated in place.
 	r1, r2 := sampleRequest(1), sampleRequest(1)
 	if r1.Digest() != r2.Digest() {
 		t.Fatal("identical requests have different digests")
 	}
-	r2.Payload = []byte("other")
-	if r1.Digest() == r2.Digest() {
+	r3 := sampleRequest(1)
+	r3.Payload = []byte("other")
+	if r1.Digest() == r3.Digest() {
 		t.Fatal("payload change did not change request digest")
 	}
 
@@ -252,14 +255,14 @@ func TestDigestsChangeWithContent(t *testing.T) {
 	if p1.Digest() != p2.Digest() {
 		t.Fatal("identical prepares differ")
 	}
-	p2.Order++
-	if p1.Digest() == p2.Digest() {
+	p3 := samplePrepare(1)
+	p3.Order++
+	if p1.Digest() == p3.Digest() {
 		t.Fatal("order change did not change prepare digest")
 	}
 
 	c := &Commit{View: 1, Order: 5, Replica: 0, BatchDigest: crypto.Hash([]byte("b"))}
-	c2 := *c
-	c2.Replica = 1
+	c2 := &Commit{View: 1, Order: 5, Replica: 1, BatchDigest: crypto.Hash([]byte("b"))}
 	if c.Digest() == c2.Digest() {
 		t.Fatal("replica change did not change commit digest")
 	}
@@ -308,8 +311,9 @@ func TestViewChangeDigestCoversPrepares(t *testing.T) {
 	if v1.Digest() != v2.Digest() {
 		t.Fatal("identical view-changes differ")
 	}
-	v2.Prepares = nil
-	if v1.Digest() == v2.Digest() {
+	noPreps := sampleViewChange(1)
+	noPreps.Prepares = nil
+	if v1.Digest() == noPreps.Digest() {
 		t.Fatal("dropping prepares did not change view-change digest — concealment possible")
 	}
 	v3 := sampleViewChange(1)

@@ -1,0 +1,167 @@
+package message
+
+import (
+	"fmt"
+
+	"hybster/internal/crypto"
+)
+
+// Exact wire-size precomputation, mirroring the put* encoders byte for
+// byte. Marshal uses it to allocate the output buffer exactly once at
+// its final size; TestWireSizeMatchesMarshal pins every sizer against
+// its encoder over the full message corpus, so the two cannot drift
+// silently.
+
+const (
+	certWireSize = 1 + 8 + 4 + 8 + 8 + 32 // kind, issuer, counter, value, prev, MAC
+	uiWireSize   = 4 + 8 + 32             // issuer, counter, MAC
+)
+
+func authSize(a crypto.Authenticator) int { return 4 + 4 + 32*len(a.MACs) }
+
+func proofSize(p *Proof) int {
+	if p.HasTCert() {
+		return 1 + certWireSize
+	}
+	return 1 + authSize(p.Auth)
+}
+
+func requestSize(r *Request) int {
+	return 4 + 8 + 1 + 4 + len(r.Payload) + authSize(r.Auth)
+}
+
+func requestListSize(reqs []*Request) int {
+	s := 4
+	for _, r := range reqs {
+		s += requestSize(r)
+	}
+	return s
+}
+
+func prepareSize(p *Prepare) int {
+	return 8 + 8 + requestListSize(p.Requests) + certWireSize
+}
+
+func prepareListSize(ps []*Prepare) int {
+	s := 4
+	for _, p := range ps {
+		s += prepareSize(p)
+	}
+	return s
+}
+
+func checkpointListSize(cs []*Checkpoint) int {
+	return 4 + len(cs)*(8+4+32+certWireSize)
+}
+
+func viewChangeSize(v *ViewChange) int {
+	return 4 + 4 + 8 + 8 + 8 + 32 +
+		checkpointListSize(v.CkptProof) + prepareListSize(v.Prepares) + certWireSize
+}
+
+func newViewAckSize(a *NewViewAck) int {
+	return 4 + 4 + 8 + prepareListSize(a.Prepares) + certWireSize
+}
+
+func prePrepareSize(p *PrePrepare) int {
+	return 8 + 8 + requestListSize(p.Requests) + proofSize(&p.Proof)
+}
+
+func pbftViewChangeSize(v *PBFTViewChange) int {
+	s := 4 + 8 + 8 + 4 + len(v.CkptProof)*0 + 4 + proofSize(&v.Proof)
+	for _, c := range v.CkptProof {
+		s += 8 + 4 + 32 + proofSize(&c.Proof)
+	}
+	for _, pp := range v.Prepared {
+		s += prePrepareSize(pp.PrePrepare) + 4
+		for _, p := range pp.Prepares {
+			s += 8 + 8 + 4 + 32 + proofSize(&p.Proof)
+		}
+	}
+	return s
+}
+
+func minPrepareSize(p *MinPrepare) int {
+	return 8 + requestListSize(p.Requests) + uiWireSize
+}
+
+func minViewChangeSize(v *MinViewChange) int {
+	s := 4 + 8 + 8 + checkpointListSize(v.CkptProof) + 8 + 4
+	for _, h := range v.History {
+		s += 4 + len(h)
+	}
+	return s + 8 + 8 + 8 + uiWireSize
+}
+
+// wireSize returns the exact encoded size of m, excluding the one-byte
+// type tag Marshal prefixes.
+func wireSize(m Message) int {
+	switch v := m.(type) {
+	case *Request:
+		return requestSize(v)
+	case *Reply:
+		return 4 + 4 + 8 + 4 + len(v.Result) + 32
+	case *Prepare:
+		return prepareSize(v)
+	case *Commit:
+		return 8 + 8 + 4 + 32 + certWireSize
+	case *Checkpoint:
+		return 8 + 4 + 32 + certWireSize
+	case *ViewChange:
+		return viewChangeSize(v)
+	case *NewView:
+		s := 8 + 4 + 4 + 4 + certWireSize + prepareListSize(v.Prepares)
+		for _, vc := range v.VCs {
+			s += viewChangeSize(vc)
+		}
+		for _, a := range v.Acks {
+			s += newViewAckSize(a)
+		}
+		return s
+	case *NewViewAck:
+		return newViewAckSize(v)
+	case *PrePrepare:
+		return prePrepareSize(v)
+	case *PBFTPrepare:
+		return 8 + 8 + 4 + 32 + proofSize(&v.Proof)
+	case *PBFTCommit:
+		return 8 + 8 + 4 + 32 + proofSize(&v.Proof)
+	case *PBFTCheckpoint:
+		return 8 + 4 + 32 + proofSize(&v.Proof)
+	case *PBFTViewChange:
+		return pbftViewChangeSize(v)
+	case *PBFTNewView:
+		s := 8 + 4 + 4 + proofSize(&v.Proof)
+		for _, vc := range v.VCs {
+			s += pbftViewChangeSize(vc)
+		}
+		for _, p := range v.PrePrepares {
+			s += prePrepareSize(p)
+		}
+		return s
+	case *MinPrepare:
+		return minPrepareSize(v)
+	case *MinCommit:
+		s := 8 + 4 + 32 + 1 + 2*uiWireSize
+		if v.Prepare != nil {
+			s += minPrepareSize(v.Prepare)
+		}
+		return s
+	case *MinReqViewChange:
+		return 4 + 8 + authSize(v.Auth)
+	case *MinViewChange:
+		return minViewChangeSize(v)
+	case *MinNewView:
+		s := 8 + 4 + uiWireSize
+		for _, vc := range v.VCs {
+			s += minViewChangeSize(vc)
+		}
+		return s
+	case *StateRequest:
+		return 4 + 8
+	case *StateReply:
+		return 4 + 8 + 4 + len(v.Snapshot) + 4 + len(v.ReplyVector) + checkpointListSize(v.Proof)
+	default:
+		panic(fmt.Sprintf("message: cannot size %T", m))
+	}
+}

@@ -1,6 +1,8 @@
 package message
 
 import (
+	"crypto/sha256"
+
 	"hybster/internal/crypto"
 	"hybster/internal/timeline"
 	"hybster/internal/trinx"
@@ -73,20 +75,26 @@ type Request struct {
 	ReadOnly bool
 	Payload  []byte
 	Auth     crypto.Authenticator
+
+	dc digestCache
 }
 
 // MsgType implements Message.
 func (*Request) MsgType() Type { return TypeRequest }
 
 // Digest returns the canonical digest of the request, the value covered
-// by its authenticator and by batch digests.
+// by its authenticator and by batch digests. The result is memoized on
+// first use; the fields it covers must not change afterwards.
 func (r *Request) Digest() crypto.Digest {
+	if d, ok := r.dc.cached(); ok {
+		return d
+	}
 	e := NewEncoder(17 + len(r.Payload))
 	e.U32(r.Client)
 	e.U64(r.Seq)
 	e.Bool(r.ReadOnly)
 	e.VarBytes(r.Payload)
-	return crypto.HashParts([]byte("req"), e.Bytes())
+	return r.dc.fill(crypto.HashParts([]byte("req"), e.Bytes()))
 }
 
 // Reply carries the execution result of one request back to its client,
@@ -97,6 +105,8 @@ type Reply struct {
 	Seq     uint64
 	Result  []byte
 	MAC     crypto.MAC
+
+	dc digestCache
 }
 
 // MsgType implements Message.
@@ -104,25 +114,31 @@ func (*Reply) MsgType() Type { return TypeReply }
 
 // Digest returns the value the reply MAC covers.
 func (r *Reply) Digest() crypto.Digest {
+	if d, ok := r.dc.cached(); ok {
+		return d
+	}
 	e := NewEncoder(16 + len(r.Result))
 	e.U32(r.Replica)
 	e.U32(r.Client)
 	e.U64(r.Seq)
 	e.VarBytes(r.Result)
-	return crypto.HashParts([]byte("reply"), e.Bytes())
+	return r.dc.fill(crypto.HashParts([]byte("reply"), e.Bytes()))
 }
 
 // BatchDigest folds the digests of a request batch into one digest.
 // An empty batch (a no-op instance closing a gap) yields a distinct,
-// stable digest.
+// stable digest. The preimage is the plain concatenation of the
+// request digests, streamed into the hash without per-request copies.
 func BatchDigest(reqs []*Request) crypto.Digest {
-	parts := make([][]byte, 0, len(reqs)+1)
-	parts = append(parts, []byte("batch"))
+	h := sha256.New()
+	h.Write([]byte("batch"))
 	for _, r := range reqs {
 		d := r.Digest()
-		parts = append(parts, append([]byte(nil), d[:]...))
+		h.Write(d[:])
 	}
-	return crypto.HashParts(parts...)
+	var d crypto.Digest
+	h.Sum(d[:0])
+	return d
 }
 
 // --- Hybster ordering (§5.2.1) ------------------------------------------
@@ -136,19 +152,31 @@ type Prepare struct {
 	Order    timeline.Order
 	Requests []*Request
 	Cert     trinx.Certificate
+
+	dc  digestCache
+	bdc digestCache
 }
 
 // MsgType implements Message.
 func (*Prepare) MsgType() Type { return TypePrepare }
 
-// BatchDigest returns the digest of the proposed batch.
-func (p *Prepare) BatchDigest() crypto.Digest { return BatchDigest(p.Requests) }
+// BatchDigest returns the digest of the proposed batch, memoized on
+// first use.
+func (p *Prepare) BatchDigest() crypto.Digest {
+	if d, ok := p.bdc.cached(); ok {
+		return d
+	}
+	return p.bdc.fill(BatchDigest(p.Requests))
+}
 
 // Digest returns the value the prepare certificate covers.
 func (p *Prepare) Digest() crypto.Digest {
+	if d, ok := p.dc.cached(); ok {
+		return d
+	}
 	bd := p.BatchDigest()
-	return crypto.HashParts([]byte("prep"),
-		crypto.U64(uint64(timeline.Pack(p.View, p.Order))), bd[:])
+	return p.dc.fill(crypto.HashParts([]byte("prep"),
+		crypto.U64(uint64(timeline.Pack(p.View, p.Order))), bd[:]))
 }
 
 // Point returns the flattened [view|order] instance identifier.
@@ -162,6 +190,8 @@ type Commit struct {
 	Replica     uint32
 	BatchDigest crypto.Digest
 	Cert        trinx.Certificate
+
+	dc digestCache
 }
 
 // MsgType implements Message.
@@ -169,9 +199,12 @@ func (*Commit) MsgType() Type { return TypeCommit }
 
 // Digest returns the value the commit certificate covers.
 func (c *Commit) Digest() crypto.Digest {
-	return crypto.HashParts([]byte("com"),
+	if d, ok := c.dc.cached(); ok {
+		return d
+	}
+	return c.dc.fill(crypto.HashParts([]byte("com"),
 		crypto.U64(uint64(timeline.Pack(c.View, c.Order))),
-		crypto.U32(c.Replica), c.BatchDigest[:])
+		crypto.U32(c.Replica), c.BatchDigest[:]))
 }
 
 // Point returns the flattened [view|order] instance identifier.
@@ -189,6 +222,8 @@ type Checkpoint struct {
 	Replica     uint32
 	StateDigest crypto.Digest
 	Cert        trinx.Certificate
+
+	dc digestCache
 }
 
 // MsgType implements Message.
@@ -196,8 +231,11 @@ func (*Checkpoint) MsgType() Type { return TypeCheckpoint }
 
 // Digest returns the value the checkpoint certificate covers.
 func (c *Checkpoint) Digest() crypto.Digest {
-	return crypto.HashParts([]byte("ckpt"),
-		crypto.U64(uint64(c.Order)), crypto.U32(c.Replica), c.StateDigest[:])
+	if d, ok := c.dc.cached(); ok {
+		return d
+	}
+	return c.dc.fill(crypto.HashParts([]byte("ckpt"),
+		crypto.U64(uint64(c.Order)), crypto.U32(c.Replica), c.StateDigest[:]))
 }
 
 // --- Hybster view change (§5.2.3, §5.3.3) ---------------------------------
@@ -223,6 +261,8 @@ type ViewChange struct {
 	CkptProof  []*Checkpoint
 	Prepares   []*Prepare
 	Cert       trinx.Certificate
+
+	dc digestCache
 }
 
 // MsgType implements Message.
@@ -230,6 +270,9 @@ func (*ViewChange) MsgType() Type { return TypeViewChange }
 
 // Digest returns the value the view-change certificate covers.
 func (v *ViewChange) Digest() crypto.Digest {
+	if d, ok := v.dc.cached(); ok {
+		return d
+	}
 	e := NewEncoder(64 + 40*len(v.Prepares))
 	e.U32(v.Replica)
 	e.U32(v.Pillar)
@@ -247,7 +290,7 @@ func (v *ViewChange) Digest() crypto.Digest {
 		d := p.Digest()
 		e.Bytes32(d)
 	}
-	return crypto.HashParts([]byte("vc"), e.Bytes())
+	return v.dc.fill(crypto.HashParts([]byte("vc"), e.Bytes()))
 }
 
 // NewView is the designated leader's proof that the transition into
@@ -262,6 +305,8 @@ type NewView struct {
 	Acks     []*NewViewAck
 	Prepares []*Prepare
 	Cert     trinx.Certificate
+
+	dc digestCache
 }
 
 // MsgType implements Message.
@@ -269,6 +314,9 @@ func (*NewView) MsgType() Type { return TypeNewView }
 
 // Digest returns the value the new-view certificate covers.
 func (n *NewView) Digest() crypto.Digest {
+	if d, ok := n.dc.cached(); ok {
+		return d
+	}
 	e := NewEncoder(64)
 	e.U64(uint64(n.View))
 	e.U32(n.Pillar)
@@ -287,7 +335,7 @@ func (n *NewView) Digest() crypto.Digest {
 		d := p.Digest()
 		e.Bytes32(d)
 	}
-	return crypto.HashParts([]byte("nv"), e.Bytes())
+	return n.dc.fill(crypto.HashParts([]byte("nv"), e.Bytes()))
 }
 
 // NewViewAck acknowledges that the sender accepted a correct NEW-VIEW
@@ -300,6 +348,8 @@ type NewViewAck struct {
 	View     timeline.View
 	Prepares []*Prepare
 	Cert     trinx.Certificate
+
+	dc digestCache
 }
 
 // MsgType implements Message.
@@ -307,6 +357,9 @@ func (*NewViewAck) MsgType() Type { return TypeNewViewAck }
 
 // Digest returns the value the ack certificate covers.
 func (a *NewViewAck) Digest() crypto.Digest {
+	if d, ok := a.dc.cached(); ok {
+		return d
+	}
 	e := NewEncoder(48)
 	e.U32(a.Replica)
 	e.U32(a.Pillar)
@@ -316,7 +369,7 @@ func (a *NewViewAck) Digest() crypto.Digest {
 		d := p.Digest()
 		e.Bytes32(d)
 	}
-	return crypto.HashParts([]byte("nva"), e.Bytes())
+	return a.dc.fill(crypto.HashParts([]byte("nva"), e.Bytes()))
 }
 
 // --- State transfer --------------------------------------------------------

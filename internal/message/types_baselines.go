@@ -27,19 +27,31 @@ type PrePrepare struct {
 	Order    timeline.Order
 	Requests []*Request
 	Proof    Proof
+
+	dc  digestCache
+	bdc digestCache
 }
 
 // MsgType implements Message.
 func (*PrePrepare) MsgType() Type { return TypePrePrepare }
 
-// BatchDigest returns the digest of the proposed batch.
-func (p *PrePrepare) BatchDigest() crypto.Digest { return BatchDigest(p.Requests) }
+// BatchDigest returns the digest of the proposed batch, memoized on
+// first use.
+func (p *PrePrepare) BatchDigest() crypto.Digest {
+	if d, ok := p.bdc.cached(); ok {
+		return d
+	}
+	return p.bdc.fill(BatchDigest(p.Requests))
+}
 
 // Digest returns the value the proof covers.
 func (p *PrePrepare) Digest() crypto.Digest {
+	if d, ok := p.dc.cached(); ok {
+		return d
+	}
 	bd := p.BatchDigest()
-	return crypto.HashParts([]byte("pprep"),
-		crypto.U64(uint64(timeline.Pack(p.View, p.Order))), bd[:])
+	return p.dc.fill(crypto.HashParts([]byte("pprep"),
+		crypto.U64(uint64(timeline.Pack(p.View, p.Order))), bd[:]))
 }
 
 // PBFTPrepare is the second-phase acknowledgment of a PrePrepare.
@@ -49,6 +61,8 @@ type PBFTPrepare struct {
 	Replica     uint32
 	BatchDigest crypto.Digest
 	Proof       Proof
+
+	dc digestCache
 }
 
 // MsgType implements Message.
@@ -56,9 +70,12 @@ func (*PBFTPrepare) MsgType() Type { return TypePBFTPrepare }
 
 // Digest returns the value the proof covers.
 func (p *PBFTPrepare) Digest() crypto.Digest {
-	return crypto.HashParts([]byte("pbftp"),
+	if d, ok := p.dc.cached(); ok {
+		return d
+	}
+	return p.dc.fill(crypto.HashParts([]byte("pbftp"),
 		crypto.U64(uint64(timeline.Pack(p.View, p.Order))),
-		crypto.U32(p.Replica), p.BatchDigest[:])
+		crypto.U32(p.Replica), p.BatchDigest[:]))
 }
 
 // PBFTCommit is the third-phase message; a quorum of commits makes the
@@ -69,6 +86,8 @@ type PBFTCommit struct {
 	Replica     uint32
 	BatchDigest crypto.Digest
 	Proof       Proof
+
+	dc digestCache
 }
 
 // MsgType implements Message.
@@ -76,9 +95,12 @@ func (*PBFTCommit) MsgType() Type { return TypePBFTCommit }
 
 // Digest returns the value the proof covers.
 func (c *PBFTCommit) Digest() crypto.Digest {
-	return crypto.HashParts([]byte("pbftc"),
+	if d, ok := c.dc.cached(); ok {
+		return d
+	}
+	return c.dc.fill(crypto.HashParts([]byte("pbftc"),
 		crypto.U64(uint64(timeline.Pack(c.View, c.Order))),
-		crypto.U32(c.Replica), c.BatchDigest[:])
+		crypto.U32(c.Replica), c.BatchDigest[:]))
 }
 
 // PBFTCheckpoint announces a stable state snapshot in the PBFT
@@ -88,6 +110,8 @@ type PBFTCheckpoint struct {
 	Replica     uint32
 	StateDigest crypto.Digest
 	Proof       Proof
+
+	dc digestCache
 }
 
 // MsgType implements Message.
@@ -95,8 +119,11 @@ func (*PBFTCheckpoint) MsgType() Type { return TypePBFTCheckpoint }
 
 // Digest returns the value the proof covers.
 func (c *PBFTCheckpoint) Digest() crypto.Digest {
-	return crypto.HashParts([]byte("pbftck"),
-		crypto.U64(uint64(c.Order)), crypto.U32(c.Replica), c.StateDigest[:])
+	if d, ok := c.dc.cached(); ok {
+		return d
+	}
+	return c.dc.fill(crypto.HashParts([]byte("pbftck"),
+		crypto.U64(uint64(c.Order)), crypto.U32(c.Replica), c.StateDigest[:]))
 }
 
 // PreparedProof is PBFT's quorum certificate that an instance reached
@@ -116,6 +143,8 @@ type PBFTViewChange struct {
 	CkptProof []*PBFTCheckpoint
 	Prepared  []PreparedProof
 	Proof     Proof
+
+	dc digestCache
 }
 
 // MsgType implements Message.
@@ -123,6 +152,9 @@ func (*PBFTViewChange) MsgType() Type { return TypePBFTViewChange }
 
 // Digest returns the value the proof covers.
 func (v *PBFTViewChange) Digest() crypto.Digest {
+	if d, ok := v.dc.cached(); ok {
+		return d
+	}
 	e := NewEncoder(64)
 	e.U32(v.Replica)
 	e.U64(uint64(v.View))
@@ -142,7 +174,7 @@ func (v *PBFTViewChange) Digest() crypto.Digest {
 			e.Bytes32(pd)
 		}
 	}
-	return crypto.HashParts([]byte("pbftvc"), e.Bytes())
+	return v.dc.fill(crypto.HashParts([]byte("pbftvc"), e.Bytes()))
 }
 
 // PBFTNewView is the new leader's view installation message: the quorum
@@ -152,6 +184,8 @@ type PBFTNewView struct {
 	VCs         []*PBFTViewChange
 	PrePrepares []*PrePrepare
 	Proof       Proof
+
+	dc digestCache
 }
 
 // MsgType implements Message.
@@ -159,6 +193,9 @@ func (*PBFTNewView) MsgType() Type { return TypePBFTNewView }
 
 // Digest returns the value the proof covers.
 func (n *PBFTNewView) Digest() crypto.Digest {
+	if d, ok := n.dc.cached(); ok {
+		return d
+	}
 	e := NewEncoder(64)
 	e.U64(uint64(n.View))
 	e.Len(len(n.VCs))
@@ -171,7 +208,7 @@ func (n *PBFTNewView) Digest() crypto.Digest {
 		d := p.Digest()
 		e.Bytes32(d)
 	}
-	return crypto.HashParts([]byte("pbftnv"), e.Bytes())
+	return n.dc.fill(crypto.HashParts([]byte("pbftnv"), e.Bytes()))
 }
 
 // --- MinBFT (two-phase, sequential, USIG) ---------------------------------
@@ -183,18 +220,30 @@ type MinPrepare struct {
 	View     timeline.View
 	Requests []*Request
 	UI       usig.UI
+
+	dc  digestCache
+	bdc digestCache
 }
 
 // MsgType implements Message.
 func (*MinPrepare) MsgType() Type { return TypeMinPrepare }
 
-// BatchDigest returns the digest of the proposed batch.
-func (p *MinPrepare) BatchDigest() crypto.Digest { return BatchDigest(p.Requests) }
+// BatchDigest returns the digest of the proposed batch, memoized on
+// first use.
+func (p *MinPrepare) BatchDigest() crypto.Digest {
+	if d, ok := p.bdc.cached(); ok {
+		return d
+	}
+	return p.bdc.fill(BatchDigest(p.Requests))
+}
 
 // Digest returns the value the UI covers.
 func (p *MinPrepare) Digest() crypto.Digest {
+	if d, ok := p.dc.cached(); ok {
+		return d
+	}
 	bd := p.BatchDigest()
-	return crypto.HashParts([]byte("minp"), crypto.U64(uint64(p.View)), bd[:])
+	return p.dc.fill(crypto.HashParts([]byte("minp"), crypto.U64(uint64(p.View)), bd[:]))
 }
 
 // MinReqViewChange asks the group to move to view View (MinBFT's
@@ -205,6 +254,8 @@ type MinReqViewChange struct {
 	Replica uint32
 	View    timeline.View
 	Auth    crypto.Authenticator
+
+	dc digestCache
 }
 
 // MsgType implements Message.
@@ -212,7 +263,10 @@ func (*MinReqViewChange) MsgType() Type { return TypeMinReqViewChange }
 
 // Digest returns the value the authenticator covers.
 func (r *MinReqViewChange) Digest() crypto.Digest {
-	return crypto.HashParts([]byte("minrvc"), crypto.U32(r.Replica), crypto.U64(uint64(r.View)))
+	if d, ok := r.dc.cached(); ok {
+		return d
+	}
+	return r.dc.fill(crypto.HashParts([]byte("minrvc"), crypto.U32(r.Replica), crypto.U64(uint64(r.View))))
 }
 
 // MinViewChange is MinBFT's VIEW-CHANGE: the last stable checkpoint
@@ -242,6 +296,8 @@ type MinViewChange struct {
 	AnchorOrder   uint64
 	AnchorCounter uint64
 	UI            usig.UI
+
+	dc digestCache
 }
 
 // MsgType implements Message.
@@ -249,6 +305,9 @@ func (*MinViewChange) MsgType() Type { return TypeMinViewChange }
 
 // Digest returns the value the UI covers.
 func (v *MinViewChange) Digest() crypto.Digest {
+	if d, ok := v.dc.cached(); ok {
+		return d
+	}
 	e := NewEncoder(64)
 	e.U32(v.Replica)
 	e.U64(uint64(v.View))
@@ -267,7 +326,7 @@ func (v *MinViewChange) Digest() crypto.Digest {
 	e.U64(uint64(v.AnchorView))
 	e.U64(v.AnchorOrder)
 	e.U64(v.AnchorCounter)
-	return crypto.HashParts([]byte("minvc"), e.Bytes())
+	return v.dc.fill(crypto.HashParts([]byte("minvc"), e.Bytes()))
 }
 
 // MinNewView is MinBFT's NEW-VIEW: the f+1 VIEW-CHANGEs the new leader
@@ -277,6 +336,8 @@ type MinNewView struct {
 	View timeline.View
 	VCs  []*MinViewChange
 	UI   usig.UI
+
+	dc digestCache
 }
 
 // MsgType implements Message.
@@ -284,6 +345,9 @@ func (*MinNewView) MsgType() Type { return TypeMinNewView }
 
 // Digest returns the value the UI covers.
 func (n *MinNewView) Digest() crypto.Digest {
+	if d, ok := n.dc.cached(); ok {
+		return d
+	}
 	e := NewEncoder(64)
 	e.U64(uint64(n.View))
 	e.Len(len(n.VCs))
@@ -291,7 +355,7 @@ func (n *MinNewView) Digest() crypto.Digest {
 		d := vc.Digest()
 		e.Bytes32(d)
 	}
-	return crypto.HashParts([]byte("minnv"), e.Bytes())
+	return n.dc.fill(crypto.HashParts([]byte("minnv"), e.Bytes()))
 }
 
 // MinCommit acknowledges a MinPrepare. As in MinBFT, the commit
@@ -306,6 +370,8 @@ type MinCommit struct {
 	Prepare     *MinPrepare
 	PrepareUI   usig.UI
 	UI          usig.UI
+
+	dc digestCache
 }
 
 // MsgType implements Message.
@@ -313,7 +379,10 @@ func (*MinCommit) MsgType() Type { return TypeMinCommit }
 
 // Digest returns the value the commit's UI covers.
 func (c *MinCommit) Digest() crypto.Digest {
-	return crypto.HashParts([]byte("minc"),
+	if d, ok := c.dc.cached(); ok {
+		return d
+	}
+	return c.dc.fill(crypto.HashParts([]byte("minc"),
 		crypto.U64(uint64(c.View)), crypto.U32(c.Replica),
-		crypto.U64(c.PrepareUI.Counter), c.BatchDigest[:])
+		crypto.U64(c.PrepareUI.Counter), c.BatchDigest[:]))
 }

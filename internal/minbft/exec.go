@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"hybster/internal/cop"
+	"hybster/internal/crypto"
 	"hybster/internal/message"
 	"hybster/internal/statemachine"
 	"hybster/internal/telemetry"
@@ -20,6 +21,19 @@ func trinxIssuer(id uint32) trinx.InstanceID {
 type evExec struct {
 	order timeline.Order
 	batch []*message.Request
+	// install, when non-nil, turns this event into a state-transfer
+	// installation instead of a batch delivery (kept inline so the
+	// common case pays no interface boxing on the mailbox).
+	install *installReq
+}
+
+// installReq carries a verified state transfer from the protocol loop
+// to the execution stage.
+type installReq struct {
+	ckpt     timeline.Order
+	snapshot []byte
+	rv       []byte
+	done     chan error
 }
 
 // execLoop is MinBFT's execution stage.
@@ -42,7 +56,18 @@ func (l *execLoop) run() {
 		if !ok {
 			return
 		}
-		if !l.x.Buffer(ev.order, ev.batch) {
+		if req := ev.install; req != nil {
+			err := l.x.InstallState(req.ckpt, req.snapshot, req.rv)
+			req.done <- err
+			if err != nil {
+				continue
+			}
+			l.last.Store(uint64(req.ckpt))
+			l.e.trace(telemetry.EvStateXfer, 0, uint64(req.ckpt), "")
+			// Installation is progress; buffered later instances may
+			// now be contiguous, so fall through to the delivery loop.
+			l.e.inbox.Put(evProgress{pending: l.x.Pending() > 0})
+		} else if !l.x.Buffer(ev.order, ev.batch) {
 			continue
 		}
 		for {
@@ -64,8 +89,17 @@ func (l *execLoop) run() {
 			if l.e.cfg.IsCheckpoint(ex.Order) {
 				// Checkpoints run on the protocol loop; hand the
 				// digest over through the inbox so USIG and window
-				// state stay single-threaded.
-				l.e.inbox.Put(evCkptDue{order: ex.Order, digest: l.x.StateDigest()})
+				// state stay single-threaded. The snapshot and reply
+				// vector ride along so the protocol loop can serve
+				// state transfers for this boundary later.
+				snap := l.x.Snapshot()
+				rv := l.x.ReplyVector()
+				l.e.inbox.Put(evCkptDue{
+					order:    ex.Order,
+					digest:   crypto.Combine(crypto.Hash(snap), crypto.Hash(rv)),
+					snapshot: snap,
+					rv:       rv,
+				})
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package minbft
 import (
 	"errors"
 
+	"hybster/internal/message"
 	"hybster/internal/telemetry"
 )
 
@@ -23,6 +24,7 @@ type engineMetrics struct {
 	suspectsC    *telemetry.Counter
 	retransmits  *telemetry.Counter
 	zombiesC     *telemetry.Counter
+	stateXfers   *telemetry.Counter
 }
 
 func newEngineMetrics(tel *telemetry.Telemetry) engineMetrics {
@@ -41,6 +43,7 @@ func newEngineMetrics(tel *telemetry.Telemetry) engineMetrics {
 		suspectsC:    tel.Counter("hybster_minbft_suspects_total", "leader-timeout suspicion events"),
 		retransmits:  tel.Counter("hybster_minbft_retransmits_total", "messages re-multicast from the resend ring"),
 		zombiesC:     tel.Counter("hybster_minbft_zombies_total", "replicas convicted of counter regression"),
+		stateXfers:   tel.Counter("hybster_minbft_state_xfers_total", "checkpoint state transfers adopted"),
 	}
 }
 
@@ -54,8 +57,32 @@ func (e *Engine) registerGauges(tel *telemetry.Telemetry) {
 		func() float64 { return float64(e.exec.last.Load()) })
 	tel.GaugeFunc("hybster_minbft_inbox_depth", "queued protocol events",
 		func() float64 { return float64(e.inbox.Len()) })
+	// Protocol-loop state snapshots. The loop owns these fields, so the
+	// sampled values may be mid-transition — good enough for the
+	// post-mortem question they answer ("where was this replica wedged?").
+	tel.GaugeFunc("hybster_minbft_view", "current view number",
+		func() float64 { return float64(e.view) })
+	tel.GaugeFunc("hybster_minbft_pending_view", "target view while a view change is pending (0 = none)",
+		func() float64 {
+			if e.pending {
+				return float64(e.pendingTo)
+			}
+			return 0
+		})
+	tel.GaugeFunc("hybster_minbft_next_order", "next order number to assign",
+		func() float64 { return float64(e.nextOrder) })
+	tel.GaugeFunc("hybster_minbft_low_watermark", "last stable checkpoint order",
+		func() float64 { return float64(e.low) })
+	tel.GaugeFunc("hybster_minbft_queue_len", "client requests queued for proposal",
+		func() float64 { e.mu.Lock(); defer e.mu.Unlock(); return float64(len(e.queue)) })
 	tel.GaugeFunc("hybster_minbft_history_len", "sent-message history length (§4.4's unbounded state)",
 		func() float64 { return float64(e.HistoryLen()) })
+	// Codec marshal-pool stats; process-global (the encoder pool is
+	// shared by every engine in the process).
+	tel.GaugeFunc("hybster_marshal_total", "messages marshaled (process-wide)",
+		func() float64 { total, _ := message.MarshalStats(); return float64(total) })
+	tel.GaugeFunc("hybster_marshal_pool_hits", "marshals served by a pooled encoder (process-wide)",
+		func() float64 { _, hits := message.MarshalStats(); return float64(hits) })
 }
 
 // trace records one protocol event on the engine's tracer (nil-safe).

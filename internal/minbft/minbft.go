@@ -11,10 +11,11 @@
 //
 // The implementation covers the ordering and checkpointing protocols
 // used by the evaluation (§6.2's published comparison point runs the
-// fault-free path). MinBFT's history-based view change — whose
-// unbounded memory demand §4.4 criticizes — is modeled by a leader
-// timeout that surfaces as an error counter rather than re-electing;
-// the Hybster and PBFT engines demonstrate full view changes.
+// fault-free path), MinBFT's history-based view change — whose
+// unbounded memory demand §4.4 criticizes — under a crash-fault scope
+// (see viewchange.go), and checkpoint-anchored state transfer so a
+// replica whose missed instances were garbage-collected by a stable
+// checkpoint can resume execution from quorum-certified state.
 package minbft
 
 import (
@@ -35,6 +36,7 @@ import (
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
 	"hybster/internal/usig"
+	"hybster/internal/verify"
 )
 
 // Options bundle the dependencies of an Engine.
@@ -76,6 +78,8 @@ type Engine struct {
 
 	inbox *cop.Mailbox[any]
 	exec  *execLoop
+	vpool *verify.Pool
+	vord  *verify.Ordered
 
 	// protocol state, confined to the run goroutine
 	view timeline.View
@@ -84,7 +88,7 @@ type Engine struct {
 	expected map[uint32]uint64
 	// holdback parks messages that arrived ahead of their sender's
 	// expected counter.
-	holdback map[uint32]map[uint64]message.Message
+	holdback map[uint32]map[uint64]heldMsg
 	// nextOrder is the order number assigned to the next accepted
 	// prepare (leader-side: the next proposal).
 	nextOrder timeline.Order
@@ -125,9 +129,25 @@ type Engine struct {
 	// orderByCounter maps current-view leader prepare counters to the
 	// orders this replica assigned them.
 	orderByCounter map[uint64]timeline.Order
+	// earlyCommits parks commits that overtook their prepare (the
+	// parallel verify stage delays request-bearing prepares while
+	// commits from other senders pass straight through). Their UI
+	// counter slots are already consumed, so a retransmitted copy
+	// would be discarded as a replay — dropping an early commit here
+	// would lose the ack forever. Keyed by the leader-prepare counter
+	// the commit answers; drained when that prepare is accepted.
+	earlyCommits map[uint64]map[uint32]*message.MinCommit
 	// ckptProof is the quorum certificate of the last stable
 	// checkpoint, carried by VIEW-CHANGEs.
 	ckptProof []*message.Checkpoint
+	// ownCkpt is the snapshot bundle from this replica's most recent
+	// own checkpoint boundary; stableCkpt is the bundle matching the
+	// last *stable* checkpoint (e.low), the one state transfer serves.
+	// Only these two are retained, so snapshot memory stays bounded.
+	ownCkpt    ckptBundle
+	stableCkpt ckptBundle
+	// lastStateReq rate-limits outgoing STATE-REQUEST rounds.
+	lastStateReq time.Time
 	// resend is a bounded ring of recently sent UI-consuming messages.
 	// MinBFT requires reliable FIFO channels: a receiver processes a
 	// sender's messages strictly in counter order, so one lost message
@@ -136,6 +156,12 @@ type Engine struct {
 	// over a lossy network; receivers drop replays by counter.
 	resend     []message.Message
 	lastResend time.Time
+	// lastVCResend rate-limits re-multicasting ownVC while a view
+	// change is pending. VIEW-CHANGEs carry the full sent-message
+	// history (§4.4), so after a few election rounds they are by far
+	// the largest messages in the system; re-sending one per tick
+	// would turn the history growth into a bandwidth and CPU storm.
+	lastVCResend time.Time
 	// histLenSnapshot mirrors len(sentLog) for HistoryLen (tests).
 	histLenSnapshot int
 
@@ -162,9 +188,18 @@ type Engine struct {
 	wg       sync.WaitGroup
 }
 
+// inMsg is an inbound message tagged with its sender; verified marks
+// client authenticators already checked by the parallel verify stage.
 type inMsg struct {
-	from uint32
-	msg  message.Message
+	from     uint32
+	msg      message.Message
+	verified bool
+}
+
+// heldMsg is a held-back out-of-order message plus its verified bit.
+type heldMsg struct {
+	msg      message.Message
+	verified bool
 }
 
 const maxInFlight = 16
@@ -189,7 +224,7 @@ func New(opts Options) (*Engine, error) {
 		met:       newEngineMetrics(opts.Telemetry),
 		inbox:     cop.NewMailbox[any](),
 		expected:  make(map[uint32]uint64),
-		holdback:  make(map[uint32]map[uint64]message.Message),
+		holdback:  make(map[uint32]map[uint64]heldMsg),
 		nextOrder: 1,
 		slots:     make(map[timeline.Order]*slot),
 		ckpts:     checkpoint.NewTracker[*message.Checkpoint](opts.Config.Quorum()),
@@ -198,6 +233,7 @@ func New(opts Options) (*Engine, error) {
 		vcs:            make(map[timeline.View]map[uint32]*message.MinViewChange),
 		nvDone:         make(map[timeline.View]bool),
 		orderByCounter: make(map[uint64]timeline.Order),
+		earlyCommits:   make(map[uint64]map[uint32]*message.MinCommit),
 		anchorOrder:    1,
 		anchorCounter:  1,
 		seenMAC:        make(map[uint32]map[uint64]crypto.MAC),
@@ -205,6 +241,8 @@ func New(opts Options) (*Engine, error) {
 		zombieSet:      make(map[uint32]bool),
 	}
 	e.exec = newExecLoop(e, opts.Application)
+	e.vpool = verify.NewPool(e.ks, 0, opts.Telemetry)
+	e.vord = verify.NewOrdered(e.vpool)
 	for r := uint32(0); int(r) < opts.Config.N; r++ {
 		e.expected[r] = 1
 	}
@@ -253,7 +291,38 @@ func (e *Engine) ZombieErr(r uint32) error {
 // Start launches the replica.
 func (e *Engine) Start() {
 	e.ep.Handle(func(from uint32, m message.Message) {
-		e.inbox.Put(inMsg{from, m})
+		// Every inbound message goes through the ordered front of the
+		// verify stage: request-bearing messages are verified on the
+		// worker pool, the rest pass straight through, and all of them
+		// reach the inbox in exact arrival order — ingest's per-sender
+		// counter sequencing depends on the stage never reordering a
+		// connection's stream.
+		switch v := m.(type) {
+		case *message.Request:
+			e.vord.Submit(from, []*message.Request{v}, func(ok bool) {
+				if ok {
+					e.inbox.Put(inMsg{from: from, msg: m, verified: true})
+				}
+			})
+		case *message.MinPrepare:
+			if len(v.Requests) == 0 {
+				e.vord.Pass(from, func() { e.inbox.Put(inMsg{from: from, msg: m}) })
+				return
+			}
+			e.vord.Submit(from, v.Requests, func(ok bool) {
+				// A rejected batch must still enter the protocol loop:
+				// MinBFT consumes every sender's UI counters strictly
+				// in order, so dropping the message here would wedge
+				// the link — all later counters would wait in holdback
+				// forever. Deliver it unverified instead; the inline
+				// re-check in handlePrepare rejects the batch after
+				// the counter bookkeeping, exactly like the inline
+				// path this stage replaces.
+				e.inbox.Put(inMsg{from: from, msg: m, verified: ok})
+			})
+		default:
+			e.vord.Pass(from, func() { e.inbox.Put(inMsg{from: from, msg: m}) })
+		}
 	})
 	e.stopTick = make(chan struct{})
 	go func() {
@@ -280,6 +349,7 @@ func (e *Engine) Stop() {
 			close(e.stopTick)
 		}
 		_ = e.ep.Close()
+		e.vpool.Close()
 		e.inbox.Close()
 		e.exec.inbox.Close()
 		e.wg.Wait()
@@ -293,55 +363,79 @@ func (e *Engine) leader() uint32 { return e.cfg.LeaderOf(e.view) }
 // run is the single protocol loop: MinBFT's defining constraint is
 // that it cannot be split further.
 func (e *Engine) run() {
+	// Drain the mailbox in batches: under load one lock round-trip
+	// fetches a burst of events instead of paying the lock per event.
+	batch := make([]any, 0, 32)
 	for {
-		ev, ok := e.inbox.Get()
+		events, ok := e.inbox.GetBatch(batch[:0])
 		if !ok {
 			return
 		}
-		switch in := ev.(type) {
-		case inMsg:
-			switch m := in.msg.(type) {
-			case *message.Request:
-				e.handleRequest(m)
-			case *message.MinPrepare:
-				e.ingest(in.from, m.UI, m)
-			case *message.MinCommit:
-				e.ingest(in.from, m.UI, m)
-			case *message.MinViewChange:
-				e.ingest(in.from, m.UI, m)
-			case *message.MinNewView:
-				e.ingest(in.from, m.UI, m)
-			case *message.MinReqViewChange:
-				e.handleReqViewChange(in.from, m)
-			case *message.Checkpoint:
-				e.handleCheckpoint(in.from, m)
-			}
-		case evCkptDue:
-			e.checkpointDue(in.order, in.digest)
-		case evProgress:
-			if in.pending {
-				e.pendingSince = time.Now()
-			} else {
-				e.pendingSince = time.Time{}
-				e.vcBackoff = 0 // execution progressed; suspicions start fresh
-			}
-		case evTick:
-			e.handleTick()
+		for _, ev := range events {
+			e.handleEvent(ev)
 		}
 	}
 }
 
+func (e *Engine) handleEvent(ev any) {
+	switch in := ev.(type) {
+	case inMsg:
+		switch m := in.msg.(type) {
+		case *message.Request:
+			e.handleRequest(m, in.verified)
+		case *message.MinPrepare:
+			e.ingest(in.from, m.UI, m, in.verified)
+		case *message.MinCommit:
+			e.ingest(in.from, m.UI, m, false)
+		case *message.MinViewChange:
+			e.ingest(in.from, m.UI, m, false)
+		case *message.MinNewView:
+			e.ingest(in.from, m.UI, m, false)
+		case *message.MinReqViewChange:
+			e.handleReqViewChange(in.from, m)
+		case *message.Checkpoint:
+			e.handleCheckpoint(in.from, m)
+		case *message.StateRequest:
+			e.handleStateRequest(in.from, m)
+		case *message.StateReply:
+			e.handleStateReply(in.from, m)
+		}
+	case evCkptDue:
+		e.checkpointDue(in)
+	case evProgress:
+		if in.pending {
+			e.pendingSince = time.Now()
+		} else {
+			e.pendingSince = time.Time{}
+			e.vcBackoff = 0 // execution progressed; suspicions start fresh
+		}
+	case evTick:
+		e.handleTick()
+	}
+}
+
 // evCkptDue carries a checkpoint boundary from the execution loop to
-// the protocol loop (all USIG and window state is confined there).
+// the protocol loop (all USIG and window state is confined there),
+// including the snapshot bundle backing later state transfers.
 type evCkptDue struct {
-	order  timeline.Order
-	digest crypto.Digest
+	order    timeline.Order
+	digest   crypto.Digest
+	snapshot []byte
+	rv       []byte
+}
+
+// ckptBundle is the serialized service state at one checkpoint
+// boundary, retained so fallen-behind peers can fetch it.
+type ckptBundle struct {
+	order    timeline.Order
+	snapshot []byte
+	rv       []byte
 }
 
 // ingest enforces per-sender counter order: messages are processed
 // exactly in UI sequence; gaps are held back, duplicates and replays
 // dropped. This is the sequential bottleneck of §3.
-func (e *Engine) ingest(from uint32, ui usig.UI, m message.Message) {
+func (e *Engine) ingest(from uint32, ui usig.UI, m message.Message, verified bool) {
 	if ui.Issuer != from {
 		return
 	}
@@ -364,7 +458,7 @@ func (e *Engine) ingest(from uint32, ui usig.UI, m message.Message) {
 		// but not every own message is self-ingested (commits and
 		// view-change messages are recorded directly), so the counter
 		// stream seen here has gaps. Process immediately and advance.
-		e.process(from, m)
+		e.process(from, m, verified)
 		if ui.Counter >= e.expected[from] {
 			e.expected[from] = ui.Counter + 1
 		}
@@ -385,19 +479,44 @@ func (e *Engine) ingest(from uint32, ui usig.UI, m message.Message) {
 		}
 		return
 	case ui.Counter > want:
+		// A gap wider than the holdback horizon can never drain: the
+		// intermediate messages would not all fit, so the stream is
+		// dead — the position a replica lands in after a volatile
+		// restart, when its expectation map restarts from zero while
+		// the peers' counters kept running. View-change-layer messages
+		// are self-contained (their UI was verified above and their
+		// content carries its own proof: a VIEW-CHANGE presents its
+		// history, a NEW-VIEW its VC quorum), so they may re-anchor
+		// the stream at the sender's live position; the skipped
+		// counters are acknowledged lost. Ordering messages must not —
+		// a prepare or commit is only meaningful in sequence.
+		if ui.Counter-want > 4*uint64(e.cfg.WindowSize) {
+			switch m.(type) {
+			case *message.MinViewChange, *message.MinNewView:
+				for c := range e.holdback[from] {
+					if c <= ui.Counter {
+						delete(e.holdback[from], c)
+					}
+				}
+				e.recordSeen(from, ui)
+				e.process(from, m, verified)
+				e.expected[from] = ui.Counter + 1
+				return
+			}
+		}
 		hb := e.holdback[from]
 		if hb == nil {
-			hb = make(map[uint64]message.Message)
+			hb = make(map[uint64]heldMsg)
 			e.holdback[from] = hb
 		}
 		// Bound holdback memory against a flooding sender.
 		if len(hb) < 4*int(e.cfg.WindowSize) {
-			hb[ui.Counter] = m
+			hb[ui.Counter] = heldMsg{msg: m, verified: verified}
 		}
 		return
 	}
 	e.recordSeen(from, ui)
-	e.process(from, m)
+	e.process(from, m, verified)
 	e.expected[from] = want + 1
 	// Drain consecutive held-back messages.
 	for {
@@ -406,10 +525,10 @@ func (e *Engine) ingest(from uint32, ui usig.UI, m message.Message) {
 			return
 		}
 		delete(e.holdback[from], e.expected[from])
-		if nui, ok := msgUI(next); ok {
+		if nui, ok := msgUI(next.msg); ok {
 			e.recordSeen(from, nui)
 		}
-		e.process(from, next)
+		e.process(from, next.msg, next.verified)
 		e.expected[from]++
 	}
 }
@@ -473,10 +592,10 @@ func msgUI(m message.Message) (usig.UI, bool) {
 	return usig.UI{}, false
 }
 
-func (e *Engine) process(from uint32, m message.Message) {
+func (e *Engine) process(from uint32, m message.Message, verified bool) {
 	switch v := m.(type) {
 	case *message.MinPrepare:
-		e.handlePrepare(from, v)
+		e.handlePrepare(from, v, verified)
 	case *message.MinCommit:
 		e.handleCommit(from, v)
 	case *message.MinViewChange:
@@ -487,8 +606,10 @@ func (e *Engine) process(from uint32, m message.Message) {
 }
 
 // handleRequest admits a client request; only the leader proposes.
-func (e *Engine) handleRequest(r *message.Request) {
-	if !crypto.VerifyAuthenticator(e.ks, r.Auth, r.Digest()) {
+// verified skips the authenticator re-check for requests the parallel
+// verify stage already cleared.
+func (e *Engine) handleRequest(r *message.Request, verified bool) {
+	if !verified && !crypto.VerifyAuthenticator(e.ks, r.Auth, r.Digest()) {
 		return
 	}
 	e.noteWorkLocked()
@@ -543,14 +664,21 @@ func (e *Engine) propose() {
 		transport.Multicast(e.ep, e.cfg.N, prep)
 		// The leader's own prepare is processed inline (its UI is the
 		// next expected from itself).
-		e.ingest(e.id, ui, prep)
+		e.ingest(e.id, ui, prep, false)
 	}
 }
 
-// handlePrepare accepts the leader's proposal: the total order is the
-// arrival order of leader UIs (§4.4 — MinBFT derives the order from
-// the counter value, not from explicit order numbers).
-func (e *Engine) handlePrepare(from uint32, p *message.MinPrepare) {
+// handlePrepare accepts the leader's proposal: the total order is
+// derived from the leader's UI counter through the view anchor (§4.4 —
+// MinBFT derives the order from the counter value, not from explicit
+// order numbers). The derivation must be arithmetic, not
+// arrival-counting: a prepare can consume its counter in ingest and
+// still be skipped here (e.g. it raced ahead of the NEW-VIEW that
+// opens its view), and a replica that then counted arrivals would bind
+// every later batch one order lower than its peers — same batches,
+// rotated orders, a silent state fork that only surfaces when
+// checkpoint digests stop matching.
+func (e *Engine) handlePrepare(from uint32, p *message.MinPrepare, authVerified bool) {
 	if from != e.leader() || p.View != e.view || e.pending {
 		return
 	}
@@ -559,14 +687,24 @@ func (e *Engine) handlePrepare(from uint32, p *message.MinPrepare) {
 		if err := e.sig.VerifyUI(p.UI, p.Digest()); err != nil {
 			return
 		}
-		for _, r := range p.Requests {
-			if !crypto.VerifyAuthenticator(e.ks, r.Auth, r.Digest()) {
-				return
+		if !authVerified {
+			for _, r := range p.Requests {
+				if !crypto.VerifyAuthenticator(e.ks, r.Auth, r.Digest()) {
+					return
+				}
 			}
 		}
 	}
-	o := e.nextOrder
-	e.nextOrder++
+	if p.UI.Counter < e.anchorCounter {
+		return
+	}
+	o := e.anchorOrder + timeline.Order(p.UI.Counter-e.anchorCounter)
+	if o <= e.low {
+		return // covered by a stable checkpoint already
+	}
+	if o >= e.nextOrder {
+		e.nextOrder = o + 1
+	}
 	e.orderByCounter[p.UI.Counter] = o
 	s := &slot{
 		order: o, batch: p.Requests, batchDigest: message.BatchDigest(p.Requests),
@@ -590,6 +728,15 @@ func (e *Engine) handlePrepare(from uint32, p *message.MinPrepare) {
 		e.trace(telemetry.EvCommit, uint64(e.view), uint64(o), "")
 		transport.Multicast(e.ep, e.cfg.N, com)
 	}
+	// Commits that overtook this prepare are waiting for it.
+	if held := e.earlyCommits[p.UI.Counter]; held != nil {
+		delete(e.earlyCommits, p.UI.Counter)
+		for r, c := range held {
+			if c.View == e.view {
+				e.applyCommit(r, c, o)
+			}
+		}
+	}
 	e.refresh(s)
 }
 
@@ -606,8 +753,25 @@ func (e *Engine) handleCommit(from uint32, c *message.MinCommit) {
 	// replica recorded when it accepted the prepare.
 	o, ok := e.orderByCounter[c.PrepareUI.Counter]
 	if !ok {
+		// The commit overtook its prepare. Its counter slot is burned
+		// (ingest already advanced the sender's stream) and a replay
+		// would be discarded, so park it until the prepare lands —
+		// bounded like the holdback map against a flooding sender.
+		if len(e.earlyCommits) < 4*int(e.cfg.WindowSize) {
+			held := e.earlyCommits[c.PrepareUI.Counter]
+			if held == nil {
+				held = make(map[uint32]*message.MinCommit)
+				e.earlyCommits[c.PrepareUI.Counter] = held
+			}
+			held[from] = c
+		}
 		return
 	}
+	e.applyCommit(from, c, o)
+}
+
+// applyCommit records one follower ack against the slot at order o.
+func (e *Engine) applyCommit(from uint32, c *message.MinCommit, o timeline.Order) {
 	s, ok := e.slots[o]
 	if !ok {
 		return
@@ -627,6 +791,18 @@ func (e *Engine) refresh(s *slot) {
 		s.executed = true
 		e.met.committed.Inc()
 		e.trace(telemetry.EvDeliver, uint64(e.view), uint64(s.order), "")
+		// A commit is ordering progress: the leader is doing its job, so
+		// the suspicion clock restarts. Execution progress alone is the
+		// wrong signal here — a replica that missed an instance later
+		// garbage-collected by a checkpoint can never execute again
+		// (MinBFT has no state transfer), and on execution-progress-only
+		// accounting it would suspect every healthy leader forever,
+		// feeding the §4.4 view-change history growth this repo exists
+		// to measure.
+		if !e.pendingSince.IsZero() {
+			e.pendingSince = time.Now()
+		}
+		e.vcBackoff = 0
 		e.exec.inbox.Put(evExec{order: s.order, batch: s.batch})
 		if e.leader() == e.id {
 			e.mu.Lock()
@@ -645,7 +821,14 @@ func (e *Engine) refresh(s *slot) {
 // boundaries. Checkpoint UIs come from the dedicated checkpoint USIG
 // instance and are embedded in the shared Checkpoint message's
 // certificate fields (issuer/value/MAC).
-func (e *Engine) checkpointDue(o timeline.Order, digest crypto.Digest) {
+func (e *Engine) checkpointDue(ev evCkptDue) {
+	o, digest := ev.order, ev.digest
+	e.ownCkpt = ckptBundle{order: o, snapshot: ev.snapshot, rv: ev.rv}
+	if o == e.low {
+		// This boundary already stabilized (we executed it late);
+		// promote the bundle so we can serve transfers for it.
+		e.stableCkpt = e.ownCkpt
+	}
 	ck := &message.Checkpoint{Order: o, Replica: e.id, StateDigest: digest}
 	ui, err := e.sigCkpt.CreateUI(ck.Digest())
 	if err != nil {
@@ -694,6 +877,106 @@ func (e *Engine) addCheckpoint(from uint32, ck *message.Checkpoint) {
 			}
 		}
 		e.pruneHistory(stable.Order)
+		e.mu.Lock()
+		e.histLenSnapshot = len(e.sentLog)
+		e.mu.Unlock()
+		if e.ownCkpt.order == stable.Order {
+			e.stableCkpt = e.ownCkpt
+		}
+		if e.exec.lastExecuted() < stable.Order {
+			// The slots this stable checkpoint covers are pruned above,
+			// so any delivery hole below it just became permanent —
+			// execution can only resume from transferred state.
+			e.maybeRequestState()
+		}
+		e.propose()
+	}
+}
+
+// --- state transfer ---
+
+// maybeRequestState asks the group for the newest stable state,
+// rate-limited to one round per second. Without this, a replica that
+// missed instances later garbage-collected by a stable checkpoint
+// could never execute again: MinBFT's counter-ordered streams have no
+// way to re-deliver pruned batches, so one lost commit would silently
+// cost the cluster an executing replica (and, with it, checkpoint
+// quorums and client reply quorums).
+func (e *Engine) maybeRequestState() {
+	now := time.Now()
+	if now.Sub(e.lastStateReq) < time.Second {
+		return
+	}
+	e.lastStateReq = now
+	req := &message.StateRequest{Replica: e.id, From: e.exec.lastExecuted() + 1}
+	transport.Multicast(e.ep, e.cfg.N, req)
+}
+
+// handleStateRequest serves the stable snapshot bundle if it covers
+// the requested frontier. Zombies may fetch state too: the reply is
+// read-only and quorum-certified, and a revived zombie that executes
+// again still helps clients reach their f+1 matching replies even
+// though its own ordering messages stay refused.
+func (e *Engine) handleStateRequest(from uint32, req *message.StateRequest) {
+	if req.Replica != from || from == e.id {
+		return
+	}
+	if e.stableCkpt.order == 0 || e.stableCkpt.order != e.low || e.stableCkpt.order < req.From {
+		return
+	}
+	_ = e.ep.Send(from, &message.StateReply{
+		Replica:     e.id,
+		CkptOrder:   e.stableCkpt.order,
+		Snapshot:    e.stableCkpt.snapshot,
+		ReplyVector: e.stableCkpt.rv,
+		Proof:       e.ckptProof,
+	})
+}
+
+// handleStateReply verifies a transferred snapshot against its
+// checkpoint quorum certificate and hands it to the execution stage.
+func (e *Engine) handleStateReply(from uint32, rep *message.StateReply) {
+	if rep.Replica != from || e.zombies[from] {
+		return
+	}
+	if rep.CkptOrder <= e.exec.lastExecuted() {
+		return
+	}
+	digest := crypto.Combine(crypto.Hash(rep.Snapshot), crypto.Hash(rep.ReplyVector))
+	if err := e.verifyCkptProof(rep.CkptOrder, digest, rep.Proof); err != nil {
+		return
+	}
+	done := make(chan error, 1)
+	e.exec.inbox.Put(evExec{install: &installReq{
+		ckpt: rep.CkptOrder, snapshot: rep.Snapshot, rv: rep.ReplyVector, done: done,
+	}})
+	select {
+	case err := <-done:
+		if err != nil {
+			return
+		}
+	case <-e.stopTick:
+		return
+	}
+	e.met.stateXfers.Inc()
+	e.trace(telemetry.EvStateXfer, uint64(e.view), uint64(rep.CkptOrder), "adopted")
+	// The transferred checkpoint is quorum-certified: adopt it as our
+	// stable anchor if it is ahead of what we had.
+	if rep.CkptOrder > e.low {
+		e.low = rep.CkptOrder
+		e.ckptProof = rep.Proof
+		e.stableCkpt = ckptBundle{order: rep.CkptOrder, snapshot: rep.Snapshot, rv: rep.ReplyVector}
+		for o := range e.slots {
+			if o <= rep.CkptOrder {
+				delete(e.slots, o)
+			}
+		}
+		for c, o := range e.orderByCounter {
+			if o <= rep.CkptOrder {
+				delete(e.orderByCounter, c)
+			}
+		}
+		e.pruneHistory(rep.CkptOrder)
 		e.mu.Lock()
 		e.histLenSnapshot = len(e.sentLog)
 		e.mu.Unlock()

@@ -1,6 +1,7 @@
 package minbft
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"time"
@@ -43,11 +44,72 @@ type sentEntry struct {
 	raw     []byte
 }
 
+// histStubTag marks a compact history entry standing in for a sent
+// VIEW-CHANGE or NEW-VIEW. Recording those messages by value is what
+// turns §4.4's linear history growth geometric: a VIEW-CHANGE embeds
+// the full history, the history would embed every earlier
+// VIEW-CHANGE's bytes, and a NEW-VIEW embeds f+1 such VIEW-CHANGEs —
+// after ~10 fruitless election rounds single messages reach hundreds
+// of megabytes and marshal/hash/verify each take seconds, starving
+// the protocol loops outright (observed in chaos goroutine dumps).
+// The stub records only the entry's UI and payload digest: the UI
+// proves the replica's USIG signed exactly that digest at that
+// counter, which is the same fact re-hashing the full bytes would
+// establish, and view-change transfer never reads VIEW-CHANGE or
+// NEW-VIEW contents (re-proposals come from PREPARE/COMMIT entries).
+// Trade-off, documented per the crash-fault scope above: a Byzantine
+// replica could mislabel a PREPARE or COMMIT as a stub and conceal
+// its content while keeping the counter chain gapless; full MinBFT
+// closes that by shipping every payload. Correct replicas stub only
+// genuine VIEW-CHANGE/NEW-VIEW entries.
+//
+// The tag byte sits outside the codec's type-tag space, so a stub can
+// never be confused with a marshaled message (message.Unmarshal
+// rejects it, and real frames start with a small type tag).
+const histStubTag = 0xFF
+
+// histStubLen is the fixed stub layout: tag, issuer, counter, MAC,
+// payload digest.
+const histStubLen = 1 + 4 + 8 + crypto.MACSize + crypto.DigestSize
+
+func encodeHistStub(ui usig.UI, d crypto.Digest) []byte {
+	b := make([]byte, histStubLen)
+	b[0] = histStubTag
+	binary.LittleEndian.PutUint32(b[1:], ui.Issuer)
+	binary.LittleEndian.PutUint64(b[5:], ui.Counter)
+	copy(b[13:], ui.MAC[:])
+	copy(b[13+crypto.MACSize:], d[:])
+	return b
+}
+
+func decodeHistStub(raw []byte) (ui usig.UI, d crypto.Digest, ok bool) {
+	if len(raw) != histStubLen || raw[0] != histStubTag {
+		return usig.UI{}, crypto.Digest{}, false
+	}
+	ui.Issuer = binary.LittleEndian.Uint32(raw[1:])
+	ui.Counter = binary.LittleEndian.Uint64(raw[5:])
+	copy(ui.MAC[:], raw[13:])
+	copy(d[:], raw[13+crypto.MACSize:])
+	return ui, d, true
+}
+
 // recordSent appends a UI-consuming message to the history log and to
-// the bounded retransmission ring.
+// the bounded retransmission ring. View-change-layer messages are
+// logged as compact stubs (see histStubTag); everything else is
+// logged in full because a NEW-VIEW leader extracts re-proposals from
+// the PREPARE and COMMIT payloads.
 func (e *Engine) recordSent(ui usig.UI, order timeline.Order, m message.Message) {
 	e.lastSent = ui.Counter
-	e.sentLog = append(e.sentLog, sentEntry{counter: ui.Counter, order: order, raw: message.Marshal(m)})
+	var raw []byte
+	switch v := m.(type) {
+	case *message.MinViewChange:
+		raw = encodeHistStub(ui, v.Digest())
+	case *message.MinNewView:
+		raw = encodeHistStub(ui, v.Digest())
+	default:
+		raw = message.Marshal(m)
+	}
+	e.sentLog = append(e.sentLog, sentEntry{counter: ui.Counter, order: order, raw: raw})
 	e.mu.Lock()
 	e.histLenSnapshot = len(e.sentLog)
 	e.mu.Unlock()
@@ -90,6 +152,12 @@ func (e *Engine) HistoryLen() int {
 func (e *Engine) handleTick() {
 	now := time.Now()
 	ps := e.pendingSince
+	// Execution fell behind the stable low-watermark: the batches it
+	// is missing are garbage-collected and will never be re-delivered,
+	// so keep asking for transferred state (replies can be lost).
+	if e.exec.lastExecuted() < e.low {
+		e.maybeRequestState()
+	}
 	// Progress stalled for half a suspicion period: assume messages
 	// were lost and re-multicast the recent send window so peers can
 	// fill counter gaps (see the resend field).
@@ -117,8 +185,12 @@ func (e *Engine) handleTick() {
 			e.vcBackoff++
 			e.escalateReqViewChange(e.pendingTo + 1)
 		}
-		// Retransmit our own VIEW-CHANGE while the view is pending.
-		if vc := e.ownVC; vc != nil {
+		// Retransmit our own VIEW-CHANGE while the view is pending —
+		// rate-limited, because a history-bearing VIEW-CHANGE can be
+		// enormous after repeated elections (§4.4) and peers that
+		// already consumed its counter replay-drop every copy anyway.
+		if vc := e.ownVC; vc != nil && now.Sub(e.lastVCResend) >= e.cfg.ViewChangeTimeout/2 {
+			e.lastVCResend = now
 			transport.Multicast(e.ep, e.cfg.N, vc)
 		}
 	}
@@ -248,6 +320,32 @@ func (e *Engine) storeVC(vc *message.MinViewChange) {
 	}
 }
 
+// verifyCkptProof checks a quorum certificate for a checkpoint at the
+// given order and state digest: every announcement must match the
+// order and digest, carry a valid checkpoint-USIG UI, and come from a
+// distinct replica; a quorum of them must survive. Shared by
+// VIEW-CHANGE validation and state transfer.
+func (e *Engine) verifyCkptProof(order timeline.Order, digest crypto.Digest, proof []*message.Checkpoint) error {
+	seen := make(map[uint32]bool)
+	for _, ck := range proof {
+		if ck.Order != order || seen[ck.Replica] {
+			return fmt.Errorf("minbft: malformed checkpoint proof")
+		}
+		if ck.StateDigest != digest {
+			return fmt.Errorf("minbft: checkpoint digests differ")
+		}
+		ui := usig.UI{Issuer: ck.Replica | ckptIssuerFlag, Counter: ck.Cert.Value, MAC: ck.Cert.MAC}
+		if err := e.sigCkpt.VerifyUI(ui, ck.Digest()); err != nil {
+			return err
+		}
+		seen[ck.Replica] = true
+	}
+	if len(seen) < e.cfg.Quorum() {
+		return fmt.Errorf("minbft: checkpoint proof below quorum")
+	}
+	return nil
+}
+
 // verifyViewChange checks a peer's VIEW-CHANGE: its UI, checkpoint
 // proof, and — the detection-regime core — that the history is a
 // gapless UI sequence from the claimed base to the VIEW-CHANGE's own
@@ -257,36 +355,36 @@ func (e *Engine) verifyViewChange(vc *message.MinViewChange) error {
 		return err
 	}
 	if vc.CkptOrder > 0 {
-		seen := make(map[uint32]bool)
-		var dig crypto.Digest
-		for i, ck := range vc.CkptProof {
-			if ck.Order != vc.CkptOrder || seen[ck.Replica] {
-				return fmt.Errorf("minbft: malformed checkpoint proof")
-			}
-			if i == 0 {
-				dig = ck.StateDigest
-			} else if ck.StateDigest != dig {
-				return fmt.Errorf("minbft: checkpoint digests differ")
-			}
-			ui := usig.UI{Issuer: ck.Replica | ckptIssuerFlag, Counter: ck.Cert.Value, MAC: ck.Cert.MAC}
-			if err := e.sigCkpt.VerifyUI(ui, ck.Digest()); err != nil {
-				return err
-			}
-			seen[ck.Replica] = true
-		}
-		if len(seen) < e.cfg.Quorum() {
+		if len(vc.CkptProof) == 0 {
 			return fmt.Errorf("minbft: checkpoint proof below quorum")
+		}
+		if err := e.verifyCkptProof(vc.CkptOrder, vc.CkptProof[0].StateDigest, vc.CkptProof); err != nil {
+			return err
 		}
 	}
 	want := vc.HistBase + 1
 	for _, raw := range vc.History {
-		m, err := message.Unmarshal(raw)
-		if err != nil {
-			return fmt.Errorf("minbft: history entry: %w", err)
-		}
-		ui, ok := uiOf(m)
-		if !ok {
-			return fmt.Errorf("minbft: history entry without UI (%s)", m.MsgType())
+		// Stub entries (sent VIEW-CHANGEs/NEW-VIEWs, see histStubTag)
+		// carry the UI and payload digest directly; full entries are
+		// unmarshaled and yield the same pair. Either way the checks
+		// below are identical: right issuer, gapless counter, and a
+		// USIG signature over exactly that digest.
+		ui, d, isStub := decodeHistStub(raw)
+		var com *message.MinCommit
+		if !isStub {
+			m, err := message.Unmarshal(raw)
+			if err != nil {
+				return fmt.Errorf("minbft: history entry: %w", err)
+			}
+			var ok bool
+			ui, ok = uiOf(m)
+			if !ok {
+				return fmt.Errorf("minbft: history entry without UI (%s)", m.MsgType())
+			}
+			if d, ok = digestOf(m); !ok {
+				return fmt.Errorf("minbft: undigestable history entry")
+			}
+			com, _ = m.(*message.MinCommit)
 		}
 		if ui.Issuer != vc.Replica {
 			return fmt.Errorf("minbft: foreign history entry")
@@ -294,14 +392,10 @@ func (e *Engine) verifyViewChange(vc *message.MinViewChange) error {
 		if ui.Counter != want {
 			return fmt.Errorf("minbft: history gap at counter %d (have %d)", want, ui.Counter)
 		}
-		d, ok := digestOf(m)
-		if !ok {
-			return fmt.Errorf("minbft: undigestable history entry")
-		}
 		if err := e.sig.VerifyUI(ui, d); err != nil {
 			return err
 		}
-		if com, ok := m.(*message.MinCommit); ok && com.Prepare != nil {
+		if com != nil && com.Prepare != nil {
 			// The embedded proposal must be genuine and the one the
 			// commit acknowledged.
 			if com.Prepare.UI != com.PrepareUI || com.Prepare.BatchDigest() != com.BatchDigest {
@@ -503,6 +597,8 @@ func (e *Engine) install(v timeline.View, startCkpt timeline.Order, batches [][]
 			delete(e.orderByCounter, c)
 		}
 	}
+	// Parked early commits answer old-view prepares; drop them.
+	clear(e.earlyCommits)
 	e.nextOrder = startCkpt + 1
 	// Anchor for the new view: the leader's first fresh prepare (the
 	// first re-proposal) carries counter anchorCounter and gets order
@@ -511,11 +607,16 @@ func (e *Engine) install(v timeline.View, startCkpt timeline.Order, batches [][]
 	e.anchorOrder = e.nextOrder
 	e.anchorCounter = anchorCounter
 
-	for view := range e.reqVCs {
-		if view <= v {
-			delete(e.reqVCs, view)
-		}
-	}
+	// Drop ALL recorded suspicion requests, not just those for views
+	// ≤ v: tallies for v+1 collected during this election would
+	// otherwise reach f+1 on the first straggler REQ and immediately
+	// abort the view just installed, before it produced any progress.
+	// Requiring fresh post-install evidence loses nothing — a replica
+	// that still suspects re-multicasts its standing REQ on every
+	// suspicion timeout. Signed VIEW-CHANGEs for higher views stay:
+	// their UI counters are already consumed at this replica, so a
+	// retransmission would be replay-dropped and the message lost.
+	clear(e.reqVCs)
 	for view := range e.vcs {
 		if view <= v {
 			delete(e.vcs, view)
@@ -524,6 +625,7 @@ func (e *Engine) install(v timeline.View, startCkpt timeline.Order, batches [][]
 	e.ownVC = nil
 	e.pendingSince = time.Time{}
 	e.vcBackoff = 0
+	e.trace(telemetry.EvNewView, uint64(v), uint64(startCkpt), "installed")
 
 	if leader {
 		for _, batch := range batches {
@@ -542,7 +644,9 @@ func (e *Engine) proposeBatch(batch []*message.Request) {
 		return
 	}
 	prep.UI = ui
+	e.met.prepares.Inc()
+	e.trace(telemetry.EvPropose, uint64(e.view), uint64(e.nextOrder), "reproposal")
 	e.recordSent(ui, e.nextOrder, prep)
 	transport.Multicast(e.ep, e.cfg.N, prep)
-	e.ingest(e.id, ui, prep)
+	e.ingest(e.id, ui, prep, false)
 }

@@ -51,15 +51,15 @@ func TestZombieCounterRegressionRefused(t *testing.T) {
 	}
 	c1 := sign(life1, 1)
 	c2 := sign(life1, 2)
-	eng.ingest(1, c1.UI, c1)
-	eng.ingest(1, c2.UI, c2)
+	eng.ingest(1, c1.UI, c1, false)
+	eng.ingest(1, c2.UI, c2, false)
 	if got := eng.expected[1]; got != 3 {
 		t.Fatalf("expected counter after two accepts = %d; want 3", got)
 	}
 
 	// An exact replay is not a conviction: reliable-channel
 	// retransmission re-presents accepted messages all the time.
-	eng.ingest(1, c1.UI, c1)
+	eng.ingest(1, c1.UI, c1, false)
 	if err := eng.ZombieErr(1); err != nil {
 		t.Fatalf("replay convicted a correct sender: %v", err)
 	}
@@ -72,7 +72,7 @@ func TestZombieCounterRegressionRefused(t *testing.T) {
 	if z.UI.Counter != 1 {
 		t.Fatalf("fresh USIG counter = %d; want 1", z.UI.Counter)
 	}
-	eng.ingest(1, z.UI, z)
+	eng.ingest(1, z.UI, z, false)
 
 	if err := eng.ZombieErr(1); !errors.Is(err, ErrCounterRegression) {
 		t.Fatalf("ZombieErr = %v; want ErrCounterRegression", err)
@@ -85,8 +85,8 @@ func TestZombieCounterRegressionRefused(t *testing.T) {
 	// would otherwise be in sequence.
 	c3 := sign(life2, 3) // counter 2
 	c4 := sign(life2, 4) // counter 3
-	eng.ingest(1, c3.UI, c3)
-	eng.ingest(1, c4.UI, c4)
+	eng.ingest(1, c3.UI, c3, false)
+	eng.ingest(1, c4.UI, c4, false)
 	if got := eng.expected[1]; got != 3 {
 		t.Fatalf("zombie traffic advanced the counter stream: expected = %d; want 3", got)
 	}
@@ -101,10 +101,10 @@ func TestZombieCounterRegressionRefused(t *testing.T) {
 		t.Fatal(err)
 	}
 	good.UI = ui
-	eng.ingest(2, good.UI, good)
+	eng.ingest(2, good.UI, good, false)
 	forged := &message.MinCommit{View: 1, Replica: 2, BatchDigest: crypto.Hash([]byte{8})}
 	forged.UI = usig.UI{Issuer: 2, Counter: 1, MAC: crypto.MAC{0xde, 0xad}}
-	eng.ingest(2, forged.UI, forged)
+	eng.ingest(2, forged.UI, forged, false)
 	if err := eng.ZombieErr(2); err != nil {
 		t.Fatalf("forged MAC convicted replica 2: %v", err)
 	}
@@ -148,14 +148,14 @@ func TestCorruptedCopyCannotFrameSender(t *testing.T) {
 	// The corrupted copy arrives first: same counter, mangled MAC.
 	mangled := *genuine
 	mangled.UI.MAC[0] ^= 0xff
-	eng.ingest(1, mangled.UI, &mangled)
+	eng.ingest(1, mangled.UI, &mangled, false)
 	if got := eng.expected[1]; got != 1 {
 		t.Fatalf("corrupted copy consumed counter slot: expected = %d; want 1", got)
 	}
 
 	// The genuine retransmission must process normally and must not
 	// convict the sender, even though its MAC differs from the copy's.
-	eng.ingest(1, genuine.UI, genuine)
+	eng.ingest(1, genuine.UI, genuine, false)
 	if err := eng.ZombieErr(1); err != nil {
 		t.Fatalf("genuine retransmission convicted its own sender: %v", err)
 	}

@@ -28,6 +28,7 @@ import (
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
 	"hybster/internal/trinx"
+	"hybster/internal/verify"
 )
 
 // counterM is the TrInX counter used for trusted MACs in the
@@ -63,6 +64,8 @@ type Engine struct {
 	exec    *execLoop
 	coord   *coordinator
 	seq     *sequencer
+	vpool   *verify.Pool
+	vord    *verify.Ordered
 	met     engineMetrics
 
 	curView      atomic.Uint64
@@ -107,6 +110,8 @@ func New(opts Options) (*Engine, error) {
 		e.pillars[u] = newPillar(e, uint32(u), tx)
 	}
 	e.seq = newSequencer(e)
+	e.vpool = verify.NewPool(e.ks, 0, opts.Telemetry)
+	e.vord = verify.NewOrdered(e.vpool)
 	e.registerGauges(opts.Telemetry)
 	return e, nil
 }
@@ -137,6 +142,7 @@ func (e *Engine) Stop() {
 	e.stopOnce.Do(func() {
 		close(e.stopped)
 		_ = e.ep.Close()
+		e.vpool.Close()
 		for _, p := range e.pillars {
 			p.inbox.Close()
 		}
@@ -154,21 +160,39 @@ func (e *Engine) Stop() {
 	})
 }
 
+// route dispatches inbound messages; client-authenticator checks run
+// on the parallel verify stage before the event reaches a pillar, and
+// every message flows through the stage's ordered front so events
+// reach the mailboxes in exact arrival order.
 func (e *Engine) route(from uint32, m message.Message) {
 	switch v := m.(type) {
 	case *message.Request:
-		e.seq.admit(v)
+		e.vord.Submit(from, []*message.Request{v}, func(ok bool) {
+			if ok {
+				e.seq.admitVerified(v)
+			}
+		})
 	case *message.PrePrepare:
-		e.pillarFor(v.Order).inbox.Put(inMsg{from, m})
+		if len(v.Requests) == 0 {
+			e.vord.Pass(from, func() { e.pillarFor(v.Order).inbox.Put(inMsg{from: from, msg: m}) })
+			return
+		}
+		e.vord.Submit(from, v.Requests, func(ok bool) {
+			if ok {
+				e.pillarFor(v.Order).inbox.Put(inMsg{from: from, msg: m, verified: true})
+			}
+		})
 	case *message.PBFTPrepare:
-		e.pillarFor(v.Order).inbox.Put(inMsg{from, m})
+		e.vord.Pass(from, func() { e.pillarFor(v.Order).inbox.Put(inMsg{from: from, msg: m}) })
 	case *message.PBFTCommit:
-		e.pillarFor(v.Order).inbox.Put(inMsg{from, m})
+		e.vord.Pass(from, func() { e.pillarFor(v.Order).inbox.Put(inMsg{from: from, msg: m}) })
 	case *message.PBFTCheckpoint:
-		e.pillars[e.cfg.CheckpointPillar(v.Order)%uint32(len(e.pillars))].inbox.Put(inMsg{from, m})
+		e.vord.Pass(from, func() {
+			e.pillars[e.cfg.CheckpointPillar(v.Order)%uint32(len(e.pillars))].inbox.Put(inMsg{from: from, msg: m})
+		})
 	case *message.PBFTViewChange, *message.PBFTNewView,
 		*message.StateRequest, *message.StateReply:
-		e.coord.inbox.Put(inMsg{from, m})
+		e.vord.Pass(from, func() { e.coord.inbox.Put(inMsg{from: from, msg: m}) })
 	}
 }
 
@@ -190,9 +214,13 @@ func (e *Engine) noteProgress(stillPending bool) {
 	}
 }
 
+// inMsg is an inbound protocol message tagged with its sender;
+// verified marks client authenticators already checked by the parallel
+// verify stage.
 type inMsg struct {
-	from uint32
-	msg  message.Message
+	from     uint32
+	msg      message.Message
+	verified bool
 }
 
 // sign authenticates digest d for the whole group: an authenticator
@@ -265,10 +293,16 @@ func (s *sequencer) nextSlot(v timeline.View, o timeline.Order) timeline.Order {
 	return n
 }
 
+// admit verifies and queues a client request; the engine's route
+// normally verifies on the parallel stage and calls admitVerified.
 func (s *sequencer) admit(r *message.Request) {
 	if !crypto.VerifyAuthenticator(s.e.ks, r.Auth, r.Digest()) {
 		return
 	}
+	s.admitVerified(r)
+}
+
+func (s *sequencer) admitVerified(r *message.Request) {
 	s.e.noteWork()
 	v := s.e.View()
 	if !s.e.cfg.RotateLeader && s.e.cfg.LeaderOf(v) != s.e.id {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hybster/internal/message"
 	"hybster/internal/telemetry"
 )
 
@@ -76,6 +77,12 @@ func (e *Engine) registerGauges(tel *telemetry.Telemetry) {
 			func() float64 { return float64(p.inbox.Len()) },
 			telemetry.L("pillar", fmt.Sprint(p.idx)))
 	}
+	// Codec marshal-pool stats; process-global (the encoder pool is
+	// shared by every engine in the process).
+	tel.GaugeFunc("hybster_marshal_total", "messages marshaled (process-wide)",
+		func() float64 { total, _ := message.MarshalStats(); return float64(total) })
+	tel.GaugeFunc("hybster_marshal_pool_hits", "marshals served by a pooled encoder (process-wide)",
+		func() float64 { _, hits := message.MarshalStats(); return float64(hits) })
 }
 
 // trace records one protocol event on the engine's tracer (nil-safe).

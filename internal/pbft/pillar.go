@@ -123,40 +123,49 @@ func (p *pillar) slot(o timeline.Order, v timeline.View) *pslot {
 }
 
 func (p *pillar) run() {
+	// Drain the mailbox in batches: under load one lock round-trip
+	// fetches a burst of events instead of paying the lock per event.
+	batch := make([]any, 0, 32)
 	for {
-		ev, ok := p.inbox.Get()
+		events, ok := p.inbox.GetBatch(batch[:0])
 		if !ok {
 			return
 		}
-		switch v := ev.(type) {
-		case inMsg:
-			p.handleMessage(v.from, v.msg)
-		case evPropose:
-			p.handlePropose(v)
-		case evCkptDue:
-			p.handleCkptDue(v)
-		case evAdvance:
-			p.advance(v.order)
-		case evCollectVC:
-			p.handleCollectVC(v)
-		case evInstallView:
-			p.handleInstallView(v)
-		case evTick:
-			p.handleTick()
+		for _, ev := range events {
+			p.handleEvent(ev)
 		}
 	}
 }
 
-func (p *pillar) handleMessage(from uint32, m message.Message) {
-	switch v := m.(type) {
+func (p *pillar) handleEvent(ev any) {
+	switch v := ev.(type) {
+	case inMsg:
+		p.handleMessage(v)
+	case evPropose:
+		p.handlePropose(v)
+	case evCkptDue:
+		p.handleCkptDue(v)
+	case evAdvance:
+		p.advance(v.order)
+	case evCollectVC:
+		p.handleCollectVC(v)
+	case evInstallView:
+		p.handleInstallView(v)
+	case evTick:
+		p.handleTick()
+	}
+}
+
+func (p *pillar) handleMessage(in inMsg) {
+	switch v := in.msg.(type) {
 	case *message.PrePrepare:
-		p.handlePrePrepare(from, v)
+		p.handlePrePrepare(in.from, v, in.verified)
 	case *message.PBFTPrepare:
-		p.handlePrepare(from, v)
+		p.handlePrepare(in.from, v)
 	case *message.PBFTCommit:
-		p.handleCommit(from, v)
+		p.handleCommit(in.from, v)
 	case *message.PBFTCheckpoint:
-		p.handleCheckpoint(from, v)
+		p.handleCheckpoint(in.from, v)
 	}
 }
 
@@ -187,7 +196,10 @@ func (p *pillar) handlePropose(ev evPropose) {
 	p.progress(s)
 }
 
-func (p *pillar) handlePrePrepare(from uint32, pp *message.PrePrepare) {
+// handlePrePrepare validates a proposal; authVerified skips the
+// client-authenticator loop for batches the parallel verify stage
+// already cleared (the proposer's proof is always checked here).
+func (p *pillar) handlePrePrepare(from uint32, pp *message.PrePrepare, authVerified bool) {
 	if pp.View != p.view || p.aborted {
 		return
 	}
@@ -201,9 +213,11 @@ func (p *pillar) handlePrePrepare(from uint32, pp *message.PrePrepare) {
 	if !p.e.verify(p.tx, &pp.Proof, pp.Digest(), from) {
 		return
 	}
-	for _, r := range pp.Requests {
-		if !crypto.VerifyAuthenticator(p.e.ks, r.Auth, r.Digest()) {
-			return
+	if !authVerified {
+		for _, r := range pp.Requests {
+			if !crypto.VerifyAuthenticator(p.e.ks, r.Auth, r.Digest()) {
+				return
+			}
 		}
 	}
 	p.e.noteWork()

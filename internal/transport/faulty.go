@@ -182,6 +182,17 @@ func (f *FaultyEndpoint) Send(to uint32, m message.Message) error {
 	return err
 }
 
+// Multicast implements Multicaster by applying Send per destination.
+// Fault decisions are strictly per (link, seq), so a broadcast must
+// consume exactly one injector decision on every destination link —
+// sharing work across destinations would change the replayable fault
+// schedule.
+func (f *FaultyEndpoint) Multicast(dests []uint32, m message.Message) {
+	for _, to := range dests {
+		_ = f.Send(to, m)
+	}
+}
+
 // flushHeld delivers a held message if it is still parked (no successor
 // released it).
 func (f *FaultyEndpoint) flushHeld(to uint32, m message.Message) {

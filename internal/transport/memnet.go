@@ -261,6 +261,17 @@ func (ep *memEndpoint) Send(to uint32, m message.Message) error {
 	}
 }
 
+// Multicast implements Multicaster. The in-process fabric passes
+// message pointers — there is no marshal to share — so the broadcast
+// degenerates to per-destination sends; implementing the capability
+// here keeps wrapper transports (FaultyEndpoint) able to forward whole
+// broadcasts without changing delivery semantics.
+func (ep *memEndpoint) Multicast(dests []uint32, m message.Message) {
+	for _, to := range dests {
+		_ = ep.Send(to, m) // best effort; the protocols tolerate loss
+	}
+}
+
 // Close implements Endpoint.
 func (ep *memEndpoint) Close() error {
 	ep.mu.Lock()

@@ -17,6 +17,36 @@ import (
 // corrupt length prefixes.
 const maxFrameSize = 64 << 20
 
+// maxPooledReadBuf caps the size of read buffers kept in the pool;
+// rare oversized frames (state transfer) allocate fresh and are left
+// for the GC rather than pinning megabytes in the pool.
+const maxPooledReadBuf = 64 << 10
+
+// readBufPool recycles per-frame read buffers across all read loops.
+// Safe because the codec clones every variable-length field on decode,
+// so no decoded message aliases a pooled buffer.
+var readBufPool sync.Pool
+
+func getReadBuf(n int) []byte {
+	if n <= maxPooledReadBuf {
+		if v, _ := readBufPool.Get().(*[]byte); v != nil {
+			if cap(*v) >= n {
+				return (*v)[:n]
+			}
+		}
+		return make([]byte, n, maxPooledReadBuf)
+	}
+	return make([]byte, n)
+}
+
+func putReadBuf(b []byte) {
+	if cap(b) > maxPooledReadBuf || cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	readBufPool.Put(&b)
+}
+
 // TCPOptions tune the self-healing behaviour of a TCPEndpoint. The
 // zero value selects the defaults below.
 type TCPOptions struct {
@@ -319,12 +349,13 @@ type TCPEndpoint struct {
 // zero value = instrumentation off). Per-peer drops, redials, and
 // queue depth live on the links.
 type tcpMetrics struct {
-	tel        *telemetry.Telemetry
-	sentFrames *telemetry.Counter
-	sentBytes  *telemetry.Counter
-	recvFrames *telemetry.Counter
-	recvBytes  *telemetry.Counter
-	heartbeats *telemetry.Counter
+	tel           *telemetry.Telemetry
+	sentFrames    *telemetry.Counter
+	sentBytes     *telemetry.Counter
+	recvFrames    *telemetry.Counter
+	recvBytes     *telemetry.Counter
+	heartbeats    *telemetry.Counter
+	savedMarshals *telemetry.Counter
 }
 
 func newTCPMetrics(tel *telemetry.Telemetry) tcpMetrics {
@@ -332,12 +363,13 @@ func newTCPMetrics(tel *telemetry.Telemetry) tcpMetrics {
 		return tcpMetrics{}
 	}
 	return tcpMetrics{
-		tel:        tel,
-		sentFrames: tel.Counter("hybster_transport_sent_frames_total", "frames queued or written outbound"),
-		sentBytes:  tel.Counter("hybster_transport_sent_bytes_total", "framed bytes queued or written outbound"),
-		recvFrames: tel.Counter("hybster_transport_recv_frames_total", "frames read inbound (including heartbeats)"),
-		recvBytes:  tel.Counter("hybster_transport_recv_bytes_total", "framed bytes read inbound"),
-		heartbeats: tel.Counter("hybster_transport_heartbeats_total", "heartbeat frames written on idle links"),
+		tel:           tel,
+		sentFrames:    tel.Counter("hybster_transport_sent_frames_total", "frames queued or written outbound"),
+		sentBytes:     tel.Counter("hybster_transport_sent_bytes_total", "framed bytes queued or written outbound"),
+		recvFrames:    tel.Counter("hybster_transport_recv_frames_total", "frames read inbound (including heartbeats)"),
+		recvBytes:     tel.Counter("hybster_transport_recv_bytes_total", "framed bytes read inbound"),
+		heartbeats:    tel.Counter("hybster_transport_heartbeats_total", "heartbeat frames written on idle links"),
+		savedMarshals: tel.Counter("hybster_transport_multicast_saved_marshals_total", "per-destination marshals avoided by marshal-once multicast"),
 	}
 }
 
@@ -454,12 +486,23 @@ func (ep *TCPEndpoint) Handle(h Handler) {
 // last inbound connection, which is evicted on error so the next
 // arrival re-establishes the path.
 func (ep *TCPEndpoint) Send(to uint32, m message.Message) error {
+	return ep.sendFrame(to, ep.buildFrame(m))
+}
+
+// buildFrame marshals m into an owned, immutable wire frame:
+// [len u32 = 4+payload][sender u32][payload].
+func (ep *TCPEndpoint) buildFrame(m message.Message) []byte {
 	payload := message.Marshal(m)
 	frame := make([]byte, 8+len(payload))
 	binary.BigEndian.PutUint32(frame[0:4], uint32(4+len(payload)))
 	binary.BigEndian.PutUint32(frame[4:8], ep.id)
 	copy(frame[8:], payload)
+	return frame
+}
 
+// sendFrame queues or writes one prebuilt frame to a destination. The
+// frame is immutable and may be shared between destinations.
+func (ep *TCPEndpoint) sendFrame(to uint32, frame []byte) error {
 	ep.mu.Lock()
 	if ep.closed {
 		ep.mu.Unlock()
@@ -484,6 +527,23 @@ func (ep *TCPEndpoint) Send(to uint32, m message.Message) error {
 		return fmt.Errorf("transport: send to %d: %w", to, err)
 	}
 	return nil
+}
+
+// Multicast implements Multicaster: the message is marshalled and
+// framed exactly once and the same immutable byte slice is enqueued on
+// every destination's link (or written down its reply path). Per-link
+// frame queues never mutate frames, so sharing is safe.
+func (ep *TCPEndpoint) Multicast(dests []uint32, m message.Message) {
+	if len(dests) == 0 {
+		return
+	}
+	frame := ep.buildFrame(m)
+	for _, to := range dests {
+		_ = ep.sendFrame(to, frame) // best effort, like Send
+	}
+	if len(dests) > 1 {
+		ep.met.savedMarshals.Add(uint64(len(dests) - 1))
+	}
 }
 
 // evictReplyPath removes a broken inbound reply connection.
@@ -582,8 +642,9 @@ func (ep *TCPEndpoint) readLoop(c *tcpConn, isInbound bool) {
 		if n < 4 || n > maxFrameSize {
 			return // corrupt stream
 		}
-		body := make([]byte, n)
+		body := getReadBuf(int(n))
 		if _, err := io.ReadFull(c, body); err != nil {
+			putReadBuf(body)
 			return
 		}
 		ep.met.recvFrames.Inc()
@@ -596,9 +657,15 @@ func (ep *TCPEndpoint) readLoop(c *tcpConn, isInbound bool) {
 			registered = true
 		}
 		if n == 4 {
+			putReadBuf(body)
 			continue // heartbeat frame: ID only, no payload
 		}
+		// Unmarshal deep-copies every variable-length field out of the
+		// buffer (the codec's clone-on-decode rule), so the pooled
+		// buffer can be recycled as soon as decoding returns without
+		// the decoded message aliasing it.
 		m, err := message.Unmarshal(body[4:])
+		putReadBuf(body)
 		if err != nil {
 			continue // drop malformed message, keep the stream
 		}

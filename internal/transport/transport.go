@@ -18,6 +18,7 @@ package transport
 
 import (
 	"errors"
+	"sync"
 
 	"hybster/internal/crypto"
 	"hybster/internal/message"
@@ -48,9 +49,57 @@ type Endpoint interface {
 	Close() error
 }
 
+// Multicaster is an optional endpoint capability: delivering one
+// message to many destinations with shared per-broadcast work. The TCP
+// endpoint marshals and frames the message once and enqueues the same
+// immutable byte slice on every peer link; endpoints without the
+// capability fall back to per-destination Send.
+type Multicaster interface {
+	// Multicast delivers m to every node in dests. Like Send, delivery
+	// is asynchronous, per-destination FIFO, and best effort.
+	Multicast(dests []uint32, m message.Message)
+}
+
+// multicastDests caches the [0,n)\{self} destination list per (self, n)
+// so the steady-state broadcast path does not allocate it every call.
+var multicastDests struct {
+	mu    sync.Mutex
+	cache map[uint64][]uint32
+}
+
+func destsFor(self uint32, n int) []uint32 {
+	key := uint64(self)<<32 | uint64(uint32(n))
+	multicastDests.mu.Lock()
+	defer multicastDests.mu.Unlock()
+	if d, ok := multicastDests.cache[key]; ok {
+		return d
+	}
+	d := make([]uint32, 0, n-1)
+	for r := uint32(0); int(r) < n; r++ {
+		if r != self {
+			d = append(d, r)
+		}
+	}
+	if multicastDests.cache == nil {
+		multicastDests.cache = make(map[uint64][]uint32)
+	}
+	multicastDests.cache[key] = d
+	return d
+}
+
 // Multicast sends m to every replica in [0, n) except the endpoint
-// itself.
+// itself. When the endpoint implements Multicaster the broadcast is
+// handed over whole, so the transport can marshal the message once for
+// all destinations; otherwise it degrades to per-destination Send.
 func Multicast(ep Endpoint, n int, m message.Message) {
+	// Warm the digest cache on the sender's goroutine: the in-process
+	// fabric shares the message pointer with every receiver, so the
+	// digest is computed once per broadcast instead of once per replica.
+	message.PrecomputeDigest(m)
+	if mc, ok := ep.(Multicaster); ok {
+		mc.Multicast(destsFor(ep.ID(), n), m)
+		return
+	}
 	for r := uint32(0); int(r) < n; r++ {
 		if r == ep.ID() {
 			continue

@@ -1,0 +1,124 @@
+package verify
+
+import (
+	"sync"
+
+	"hybster/internal/message"
+)
+
+// Ordered fronts a Pool with per-sender reorder buffers: batches are
+// verified on the pool's workers in parallel, but each sender's
+// completion callbacks run in exact submission order. The engines'
+// inbound paths need this — transports deliver each connection's
+// messages in order, and the protocol layers lean on that (MinBFT
+// consumes per-sender UI counters strictly in sequence; a stage that
+// let one message overtake another from the same sender would turn
+// its holdback machinery into permanent churn and drop genuine
+// traffic at the holdback bound during retransmit storms). Ordering
+// is deliberately per sender, not global: transports never promised
+// cross-connection order, and independent senders' streams must keep
+// verifying and delivering concurrently (a global buffer funnels all
+// delivery through one drainer and costs half the stage's
+// throughput). With the lanes, verification is pipelined ahead of
+// delivery instead of serializing it, and each sender's delivery
+// order is exactly what an inline check would have produced.
+type Ordered struct {
+	pool *Pool
+
+	mu       sync.Mutex
+	lanes    map[uint32]*lane
+	overflow lane
+}
+
+// maxLanes bounds the lane map: replica lanes are few, client
+// populations unbounded. Senders beyond the cap share one overflow
+// lane — still ordered, just coarser.
+const maxLanes = 4096
+
+// lane is one sender's reorder buffer.
+type lane struct {
+	mu         sync.Mutex
+	seq        uint64 // next ticket to hand out
+	next       uint64 // next ticket to deliver
+	ready      map[uint64]func()
+	delivering bool
+}
+
+// NewOrdered wraps pool in per-sender submission-ordered delivery.
+func NewOrdered(pool *Pool) *Ordered {
+	return &Ordered{pool: pool, lanes: make(map[uint32]*lane)}
+}
+
+func (o *Ordered) laneFor(from uint32) *lane {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	l := o.lanes[from]
+	if l == nil {
+		if len(o.lanes) >= maxLanes {
+			return &o.overflow
+		}
+		l = &lane{ready: make(map[uint64]func())}
+		o.lanes[from] = l
+	}
+	return l
+}
+
+// Submit queues reqs for parallel verification; done(ok) runs after
+// the callbacks of every earlier Submit and Pass from the same
+// sender, regardless of which worker finishes first.
+func (o *Ordered) Submit(from uint32, reqs []*message.Request, done func(ok bool)) {
+	l := o.laneFor(from)
+	l.mu.Lock()
+	t := l.seq
+	l.seq++
+	l.mu.Unlock()
+	o.pool.Submit(reqs, func(ok bool) {
+		l.complete(t, func() { done(ok) })
+	})
+}
+
+// Pass schedules done without any verification, keeping it in
+// submission order relative to the sender's Submit callbacks.
+// Messages that carry no client authenticators use it so they can
+// neither overtake nor be overtaken by verified traffic from the same
+// connection.
+func (o *Ordered) Pass(from uint32, done func()) {
+	l := o.laneFor(from)
+	l.mu.Lock()
+	t := l.seq
+	l.seq++
+	l.mu.Unlock()
+	l.complete(t, done)
+}
+
+// complete parks a finished ticket and drains the consecutive run of
+// ready tickets. A single goroutine drains a lane at a time and
+// callbacks run outside the lock: a callback may re-enter the stage
+// (an in-process transport can loop a send synchronously back into an
+// engine's inbound handler), and a ticket parked during a drain is
+// picked up by the active drainer.
+func (l *lane) complete(t uint64, fn func()) {
+	l.mu.Lock()
+	if l.ready == nil {
+		l.ready = make(map[uint64]func()) // overflow lane is zero-valued
+	}
+	l.ready[t] = fn
+	if l.delivering {
+		l.mu.Unlock()
+		return
+	}
+	l.delivering = true
+	for {
+		f, ok := l.ready[l.next]
+		if !ok {
+			break
+		}
+		delete(l.ready, l.next)
+		l.next++
+		l.mu.Unlock()
+		f()
+		l.mu.Lock()
+	}
+	l.delivering = false
+	l.mu.Unlock()
+}
