@@ -3,7 +3,7 @@ GO ?= go
 # Per-target budget of the fuzz smoke (make fuzz-smoke / CI).
 FUZZTIME ?= 20s
 
-.PHONY: build test test-race vet chaos-smoke chaos-long fuzz-smoke bench bench-smoke bench-hotpath ops-demo
+.PHONY: build test test-race vet chaos-smoke chaos-long fuzz-smoke bench bench-smoke bench-hotpath bench-compare ops-demo audit-demo audit-smoke
 
 build:
 	$(GO) build ./...
@@ -61,7 +61,23 @@ bench-hotpath:
 	$(GO) run ./cmd/hybster-bench -figure 5c -quick -duration 1s -clients 16 -json \
 		> BENCH_fig5c.json
 
+# Throughput-regression guard: fresh quick sweep vs the committed
+# baseline in results/fig5c.json (>25% drop on any point fails).
+bench-compare:
+	sh scripts/bench-compare.sh
+
 # Live observability demo: boots a 3-replica TCP group with -ops,
 # commits client load, and scrapes /metrics + health probes.
 ops-demo:
 	sh scripts/ops-demo.sh
+
+# Live auditing demo: boots a 3-replica TCP group with replica 0 as
+# the online auditor, commits load, asserts zero findings, then runs
+# the offline trace-merge auditor over every replica's ring dump.
+audit-demo:
+	sh scripts/audit-demo.sh
+
+# Audited chaos smoke: the fork-detection test plus a short clean soak
+# with the auditor attached to every run, under the race detector.
+audit-smoke:
+	$(GO) test -race -short -count=1 -run 'TestChaosAudit' ./internal/chaos/

@@ -1,0 +1,117 @@
+// Command hybster-audit merges per-replica trace dumps offline into
+// one causally ordered timeline, reconstructs per-slot spans with
+// stage latency statistics, and runs the protocol auditor's safety
+// checks over the merged history.
+//
+// Dumps come from a replica's POST /trace/dump endpoint, the SIGQUIT
+// handler, or a chaos run; each file is self-describing (the header
+// carries the replica ID, protocol, ring depth, and drop count), so
+// the merge needs nothing but the files:
+//
+//	hybster-audit /data/r0/trace-*.json /data/r1/trace-*.json
+//	hybster-audit -timeline dumps/*.json         # full event timeline
+//	hybster-audit -json dumps/*.json | jq .findings
+//
+// The exit status is 2 when the audit raises findings, so scripts can
+// gate on a clean history.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"hybster/internal/audit"
+	"hybster/internal/telemetry"
+)
+
+func main() {
+	timeline := flag.Bool("timeline", false, "print the full merged event timeline")
+	jsonOut := flag.Bool("json", false, "emit one JSON document (dumps, spans, findings) instead of text")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hybster-audit [-timeline] [-json] trace-dump.json...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	var dumps []*telemetry.TraceDump
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := telemetry.ReadDump(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		dumps = append(dumps, d)
+		if !*jsonOut {
+			fmt.Printf("%s: replica %d %s, %d events (ring %d, %d dropped)\n",
+				path, d.Replica, d.Protocol, len(d.Events), d.RingDepth, d.Dropped)
+		}
+	}
+
+	merged := audit.Merge(dumps...)
+	spans := audit.BuildSpans(merged)
+
+	auditor := audit.New(audit.Options{})
+	auditor.ObserveDumps(dumps...)
+	findings := auditor.Findings()
+
+	if *jsonOut {
+		type dumpInfo struct {
+			Replica  uint32 `json:"replica"`
+			Protocol string `json:"protocol"`
+			Events   int    `json:"events"`
+			Dropped  uint64 `json:"dropped_events"`
+		}
+		out := struct {
+			Dumps    []dumpInfo       `json:"dumps"`
+			Spans    audit.SpanReport `json:"spans"`
+			Findings []audit.Finding  `json:"findings"`
+		}{Spans: spans, Findings: findings}
+		for _, d := range dumps {
+			out.Dumps = append(out.Dumps, dumpInfo{d.Replica, d.Protocol, len(d.Events), d.Dropped})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		if *timeline {
+			fmt.Println()
+			if err := audit.WriteTimeline(os.Stdout, merged); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Println()
+		if err := audit.WriteSpanReport(os.Stdout, spans); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if len(findings) == 0 {
+			fmt.Println("audit: clean — no invariant violations across the merged history")
+		} else {
+			fmt.Printf("audit: %d finding(s):\n", len(findings))
+			for _, f := range findings {
+				fmt.Printf("  [%s] %s\n", f.Kind, f.Detail)
+			}
+		}
+	}
+
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hybster-audit:", err)
+	os.Exit(1)
+}

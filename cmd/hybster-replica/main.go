@@ -20,10 +20,12 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"hybster/internal/apps/coordination"
 	"hybster/internal/apps/counter"
 	"hybster/internal/apps/echo"
+	"hybster/internal/audit"
 	"hybster/internal/cluster"
 	"hybster/internal/config"
 	"hybster/internal/core"
@@ -46,6 +48,8 @@ func main() {
 	keySeed := flag.String("keyseed", "hybster-default", "group key seed (must match on all nodes)")
 	dataDir := flag.String("data", "", "data directory for durable crash-recovery (sealed counters + WAL); empty = in-memory only")
 	opsAddr := flag.String("ops", "", "ops endpoint listen address (/metrics, /vars, /trace, /healthz, /readyz, pprof); empty = disabled")
+	auditScrape := flag.String("audit-scrape", "", "comma-separated ops-endpoint URLs to audit (e.g. http://h0:9100,http://h1:9100); serves findings at /audit and demotes /readyz on violations; empty = disabled")
+	auditEvery := flag.Duration("audit-interval", time.Second, "audit scrape cadence (with -audit-scrape)")
 	flag.Parse()
 
 	peers := strings.Split(*peersFlag, ",")
@@ -78,7 +82,7 @@ func main() {
 			peerMap[uint32(i)] = strings.TrimSpace(addr)
 		}
 	}
-	tel := telemetry.New(proto.String())
+	tel := telemetry.NewFor(proto.String(), uint32(*id))
 	ep, err := transport.NewTCPWithOptions(uint32(*id), strings.TrimSpace(peers[*id]), peerMap,
 		transport.TCPOptions{Telemetry: tel})
 	if err != nil {
@@ -147,8 +151,27 @@ func main() {
 		dumpDir = filepath.Join(os.TempDir(), fmt.Sprintf("hybster-replica-%d", *id))
 	}
 
+	// The online protocol auditor: scrape the listed ops endpoints
+	// (typically the whole group, this replica included), serve the
+	// current report at /audit, and demote /readyz while findings
+	// stand — an orchestrator then steers traffic away from a cluster
+	// whose invariants broke.
+	var monitor *audit.Monitor
+	if *auditScrape != "" {
+		var sources []audit.Source
+		for _, u := range strings.Split(*auditScrape, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				sources = append(sources, &audit.HTTPSource{BaseURL: u})
+			}
+		}
+		monitor = audit.NewMonitor(audit.New(audit.Options{}), *auditEvery, sources...)
+		monitor.Start()
+		defer monitor.Stop()
+		log.Printf("replica %d auditing %d ops endpoints every %v", *id, len(sources), *auditEvery)
+	}
+
 	if *opsAddr != "" {
-		ops := telemetry.NewOpsServer(telemetry.OpsOptions{
+		opts := telemetry.OpsOptions{
 			Telemetry:    tel,
 			Healthz:      healthz,
 			Readyz:       readyz,
@@ -160,7 +183,20 @@ func main() {
 					"executed": uint64(replica.LastExecuted()),
 				}
 			},
-		})
+		}
+		if monitor != nil {
+			opts.Audit = func() any { return monitor.Report() }
+			engineReady := opts.Readyz
+			opts.Readyz = func() error {
+				if engineReady != nil {
+					if err := engineReady(); err != nil {
+						return err
+					}
+				}
+				return monitor.Healthz()
+			}
+		}
+		ops := telemetry.NewOpsServer(opts)
 		if err := ops.Serve(*opsAddr); err != nil {
 			log.Fatal(err)
 		}

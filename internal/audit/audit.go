@@ -1,0 +1,194 @@
+// Package audit reconstructs cluster-wide causal traces from
+// per-replica telemetry and audits live protocol invariants.
+//
+// The package has two halves (DESIGN.md §13):
+//
+//   - Trace reconstruction. Every replica's telemetry.Tracer records a
+//     stream of typed protocol events tagged with the replica's ID,
+//     dual wall/monotonic timestamps, and the digest prefix of the
+//     batch or checkpoint the event is about. Merge folds any number
+//     of those streams (live rings or dumped files) into one causally
+//     ordered timeline, and BuildSpans condenses the timeline into
+//     per-slot spans — propose → prepare → commit → deliver → exec —
+//     with per-stage latency statistics.
+//
+//   - Online auditing. An Auditor consumes rounds of Samples (a
+//     metrics snapshot plus the trace ring, per replica) and raises
+//     typed Findings when a protocol invariant is violated: commit or
+//     delivery digests diverging across replicas at the same
+//     coordinate (a safety violation — the PR 8 bug class), a
+//     replica's delivery frontier stalling while a quorum progresses,
+//     view-change storms that churn views without progress, deaf
+//     per-sender UI streams on MinBFT, and checkpoint stability
+//     falling far behind execution.
+//
+// Samples come from a Source: in-process (TelemetrySource, used by
+// tests and the chaos harness) or scraped over HTTP from a replica's
+// ops endpoint (HTTPSource reading /vars and /trace). A Monitor polls
+// sources periodically and exposes the current Report plus a health
+// check suitable for demoting a replica's /readyz.
+//
+// Everything here is an observer: the package imports telemetry and
+// stats only, never a protocol engine, and a hung or unreachable
+// replica degrades a sample rather than blocking the auditor.
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"hybster/internal/telemetry"
+)
+
+// Sample is one replica's observability snapshot at one instant: the
+// flattened metrics registry plus the trace ring's retained events.
+type Sample struct {
+	// Replica is the sampled replica's ID.
+	Replica uint32
+	// Protocol is the engine's protocol name (config.Protocol.String()
+	// form, e.g. "HybsterX"); it selects the metric-name prefix the
+	// auditor reads frontiers from.
+	Protocol string
+	// When is the collection time.
+	When time.Time
+	// Metrics is the registry snapshot (full metric name → value).
+	Metrics map[string]float64
+	// Events is the trace ring's retained events, oldest first.
+	Events []telemetry.Event
+	// Exempt suppresses liveness findings (frontier stall, storms,
+	// deaf streams, checkpoint lag) for this replica this round —
+	// set by harnesses for replicas that are deliberately down,
+	// zombied, or still rejoining. Safety checks (digest divergence)
+	// are never exempted: a down replica's past events still count.
+	Exempt bool
+}
+
+// Source produces Samples for one replica.
+type Source interface {
+	Collect() (Sample, error)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func() (Sample, error)
+
+// Collect implements Source.
+func (f SourceFunc) Collect() (Sample, error) { return f() }
+
+// TelemetrySource samples a replica's telemetry bundle in-process —
+// the zero-network path tests and the chaos harness use. exempt, when
+// non-nil, is consulted at collection time so the harness can flag
+// replicas it has deliberately taken down.
+func TelemetrySource(replica uint32, protocol string, tel *telemetry.Telemetry, exempt func() bool) Source {
+	return SourceFunc(func() (Sample, error) {
+		s := Sample{
+			Replica:  replica,
+			Protocol: protocol,
+			When:     time.Now(),
+			Metrics:  tel.Metrics().Snapshot(),
+			Events:   tel.Tracer().Events(),
+		}
+		if exempt != nil {
+			s.Exempt = exempt()
+		}
+		return s, nil
+	})
+}
+
+// HTTPSource scrapes a replica's ops endpoint: GET /trace for the
+// ring (whose dump header carries the replica ID and protocol) and
+// GET /vars for the metrics snapshot. The zero Client gets a 5s
+// timeout so one hung replica cannot stall a whole audit round.
+type HTTPSource struct {
+	// BaseURL is the ops endpoint root, e.g. "http://127.0.0.1:9100".
+	BaseURL string
+	// Client is the HTTP client to scrape with (nil → 5s timeout).
+	Client *http.Client
+}
+
+// Collect implements Source by scraping /trace then /vars.
+func (s *HTTPSource) Collect() (Sample, error) {
+	client := s.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	base := strings.TrimRight(s.BaseURL, "/")
+
+	resp, err := client.Get(base + "/trace")
+	if err != nil {
+		return Sample{}, fmt.Errorf("audit: scrape %s/trace: %w", base, err)
+	}
+	dump, err := telemetry.ReadDump(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return Sample{}, fmt.Errorf("audit: scrape %s/trace: %w", base, err)
+	}
+
+	resp, err = client.Get(base + "/vars")
+	if err != nil {
+		return Sample{}, fmt.Errorf("audit: scrape %s/vars: %w", base, err)
+	}
+	var vars struct {
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&vars)
+	resp.Body.Close()
+	if err != nil {
+		return Sample{}, fmt.Errorf("audit: scrape %s/vars: %w", base, err)
+	}
+
+	return Sample{
+		Replica:  dump.Replica,
+		Protocol: dump.Protocol,
+		When:     time.Now(),
+		Metrics:  vars.Metrics,
+		Events:   dump.Events,
+	}, nil
+}
+
+// metricPrefix maps a protocol name (config.Protocol.String() form)
+// to the metric-name prefix that engine registers its gauges under.
+func metricPrefix(protocol string) string {
+	switch protocol {
+	case "HybsterS", "HybsterX":
+		return "hybster_core_"
+	case "PBFTcop", "HybridPBFT":
+		return "hybster_pbft_"
+	case "MinBFT":
+		return "hybster_minbft_"
+	default:
+		return ""
+	}
+}
+
+// frontierMetric names the executed-order gauge for a protocol.
+func frontierMetric(protocol string) string {
+	if p := metricPrefix(protocol); p != "" {
+		return p + "last_executed"
+	}
+	return ""
+}
+
+// viewMetric names the current-view gauge for a protocol.
+func viewMetric(protocol string) string {
+	if p := metricPrefix(protocol); p != "" {
+		return p + "view"
+	}
+	return ""
+}
+
+// stableMetric names the stable-checkpoint gauge for a protocol
+// (MinBFT calls it the low watermark).
+func stableMetric(protocol string) string {
+	switch metricPrefix(protocol) {
+	case "hybster_core_":
+		return "hybster_core_stable_checkpoint"
+	case "hybster_pbft_":
+		return "hybster_pbft_stable_checkpoint"
+	case "hybster_minbft_":
+		return "hybster_minbft_low_watermark"
+	}
+	return ""
+}

@@ -1,0 +1,123 @@
+package audit
+
+import (
+	"sync"
+	"time"
+)
+
+// Monitor drives an Auditor from a set of Sources on a fixed cadence
+// — the deployment-facing wrapper that turns the passive Auditor into
+// an online service. A source that fails to collect simply
+// contributes nothing that round (and is counted), so one crashed
+// replica never wedges the audit of the others.
+type Monitor struct {
+	auditor  *Auditor
+	sources  []Source
+	interval time.Duration
+
+	mu         sync.Mutex
+	scrapeErrs uint64
+	lastErr    error
+	stop       chan struct{}
+	done       chan struct{}
+	started    bool
+}
+
+// NewMonitor wraps auditor with a poller over sources. interval ≤ 0
+// defaults to one second.
+func NewMonitor(auditor *Auditor, interval time.Duration, sources ...Source) *Monitor {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Monitor{auditor: auditor, sources: sources, interval: interval}
+}
+
+// Auditor returns the wrapped auditor.
+func (m *Monitor) Auditor() *Auditor { return m.auditor }
+
+// Poll runs one audit round now: collect every source, feed the
+// auditor. Usable directly (tests, one-shot audits) or via Start.
+func (m *Monitor) Poll() {
+	samples := make([]Sample, 0, len(m.sources))
+	for _, src := range m.sources {
+		s, err := src.Collect()
+		if err != nil {
+			m.mu.Lock()
+			m.scrapeErrs++
+			m.lastErr = err
+			m.mu.Unlock()
+			continue
+		}
+		samples = append(samples, s)
+	}
+	m.auditor.Observe(samples)
+}
+
+// Start launches the background polling loop (idempotent).
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	stop, done := m.stop, m.done
+	m.mu.Unlock()
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(m.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				m.Poll()
+			}
+		}
+	}()
+}
+
+// Stop halts the polling loop and waits for it to exit (idempotent).
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	if !m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = false
+	stop, done := m.stop, m.done
+	m.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// MonitorReport is the monitor's externally visible state: the
+// auditor's report plus scrape health.
+type MonitorReport struct {
+	Report
+	// ScrapeErrors counts source collections that failed.
+	ScrapeErrors uint64 `json:"scrape_errors,omitempty"`
+	// LastScrapeError is the most recent collection failure.
+	LastScrapeError string `json:"last_scrape_error,omitempty"`
+}
+
+// Report snapshots the audit report plus scrape-health counters —
+// the value the ops server's /audit endpoint serves.
+func (m *Monitor) Report() MonitorReport {
+	r := MonitorReport{Report: m.auditor.Report()}
+	m.mu.Lock()
+	r.ScrapeErrors = m.scrapeErrs
+	if m.lastErr != nil {
+		r.LastScrapeError = m.lastErr.Error()
+	}
+	m.mu.Unlock()
+	return r
+}
+
+// Healthz forwards the auditor's health verdict (nil = no findings);
+// plug it into an ops server's Readyz to demote readiness on
+// violations.
+func (m *Monitor) Healthz() error { return m.auditor.Healthz() }

@@ -1,0 +1,219 @@
+package audit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"hybster/internal/stats"
+	"hybster/internal/telemetry"
+)
+
+// Span is the cluster-wide life of one consensus slot: the first
+// observation of each pipeline stage across every replica's stream.
+// Stage times are nanoseconds since the report's timeline base; -1
+// marks a stage no replica's retained ring observed (rings are
+// finite, so old slots lose their early stages first).
+type Span struct {
+	Slot   uint64 `json:"slot"`
+	Pillar uint32 `json:"pillar"`
+	// View is the view of the earliest ordering event observed.
+	View uint64 `json:"view"`
+	// Digest is the batch-digest prefix correlating the span's events.
+	Digest  string `json:"digest,omitempty"`
+	Propose int64  `json:"propose_ns"`
+	Prepare int64  `json:"prepare_ns"`
+	Commit  int64  `json:"commit_ns"`
+	Deliver int64  `json:"deliver_ns"`
+	Exec    int64  `json:"exec_ns"`
+}
+
+// complete reports whether every ordering stage was observed
+// (exec excluded: execution events trail delivery asynchronously and
+// the tail slots of a run legitimately haven't executed yet).
+func (s *Span) complete() bool {
+	return s.Propose >= 0 && s.Prepare >= 0 && s.Commit >= 0 && s.Deliver >= 0
+}
+
+// StageSummary is one pipeline stage's latency distribution in
+// microseconds, condensed from every span that observed both of the
+// stage's endpoints.
+type StageSummary struct {
+	Stage string `json:"stage"`
+	Count int    `json:"count"`
+	AvgUS int64  `json:"avg_us"`
+	P50US int64  `json:"p50_us"`
+	P90US int64  `json:"p90_us"`
+	P99US int64  `json:"p99_us"`
+	MaxUS int64  `json:"max_us"`
+}
+
+// SpanReport is the condensed cross-replica view of a merged
+// timeline: per-slot spans plus per-stage and end-to-end latency
+// distributions.
+type SpanReport struct {
+	// SharedClock records whether stage latencies came from one
+	// monotonic clock (in-process cluster) or from wall clocks subject
+	// to cross-machine skew.
+	SharedClock bool `json:"shared_clock"`
+	// Complete counts spans whose full ordering pipeline
+	// (propose→deliver) was observed.
+	Complete int            `json:"complete_spans"`
+	Spans    []Span         `json:"spans"`
+	Stages   []StageSummary `json:"stages"`
+}
+
+// spanStages defines the per-stage latency pairs, in pipeline order.
+var spanStages = []struct {
+	name string
+	from func(*Span) int64
+	to   func(*Span) int64
+}{
+	{"propose→prepare", func(s *Span) int64 { return s.Propose }, func(s *Span) int64 { return s.Prepare }},
+	{"prepare→commit", func(s *Span) int64 { return s.Prepare }, func(s *Span) int64 { return s.Commit }},
+	{"commit→deliver", func(s *Span) int64 { return s.Commit }, func(s *Span) int64 { return s.Deliver }},
+	{"deliver→exec", func(s *Span) int64 { return s.Deliver }, func(s *Span) int64 { return s.Exec }},
+	{"propose→deliver", func(s *Span) int64 { return s.Propose }, func(s *Span) int64 { return s.Deliver }},
+	{"propose→exec", func(s *Span) int64 { return s.Propose }, func(s *Span) int64 { return s.Exec }},
+}
+
+// BuildSpans condenses a merged timeline (see Merge) into per-slot
+// spans and stage latency distributions. Ordering events join on
+// (slot, pillar); execution events carry no pillar, so they join on
+// slot alone.
+func BuildSpans(events []telemetry.Event) SpanReport {
+	shared := sharedOrigin(events)
+	var base int64
+	haveBase := false
+
+	type key struct {
+		slot   uint64
+		pillar uint32
+	}
+	spans := make(map[key]*Span)
+	get := func(slot uint64, pillar uint32) *Span {
+		k := key{slot, pillar}
+		s, ok := spans[k]
+		if !ok {
+			s = &Span{Slot: slot, Pillar: pillar, Propose: -1, Prepare: -1, Commit: -1, Deliver: -1, Exec: -1}
+			spans[k] = s
+		}
+		return s
+	}
+	// earliest records t into *at if unset or later, tracking view and
+	// digest from the earliest ordering event.
+	earliest := func(at *int64, t int64) bool {
+		if *at < 0 || t < *at {
+			*at = t
+			return true
+		}
+		return false
+	}
+
+	// execTimes collects execution events separately: they join on
+	// slot only and must land on every matching pillar's span.
+	execTimes := make(map[uint64]int64)
+
+	for i := range events {
+		e := &events[i]
+		t := eventTime(e, shared)
+		if !haveBase {
+			base, haveBase = t, true
+		}
+		rel := t - base
+		switch e.Kind {
+		case telemetry.EvExec:
+			if cur, ok := execTimes[e.Slot]; !ok || rel < cur {
+				execTimes[e.Slot] = rel
+			}
+			continue
+		case telemetry.EvPropose, telemetry.EvPrepare, telemetry.EvCommit, telemetry.EvDeliver:
+		default:
+			continue
+		}
+		s := get(e.Slot, e.Pillar)
+		var firsted bool
+		switch e.Kind {
+		case telemetry.EvPropose:
+			firsted = earliest(&s.Propose, rel)
+		case telemetry.EvPrepare:
+			firsted = earliest(&s.Prepare, rel)
+		case telemetry.EvCommit:
+			firsted = earliest(&s.Commit, rel)
+		case telemetry.EvDeliver:
+			firsted = earliest(&s.Deliver, rel)
+		}
+		if firsted && e.Kind == telemetry.EvPropose {
+			s.View, s.Digest = e.View, e.Digest
+		} else if s.Digest == "" && e.Digest != "" {
+			s.Digest = e.Digest
+		}
+	}
+
+	report := SpanReport{SharedClock: shared}
+	recorders := make([]*stats.Recorder, len(spanStages))
+	for i := range recorders {
+		recorders[i] = stats.NewRecorder()
+	}
+	for _, s := range spans {
+		if t, ok := execTimes[s.Slot]; ok {
+			s.Exec = t
+		}
+		if s.complete() {
+			report.Complete++
+		}
+		for i, st := range spanStages {
+			from, to := st.from(s), st.to(s)
+			if from >= 0 && to >= from {
+				recorders[i].Record(time.Duration(to - from))
+			}
+		}
+		report.Spans = append(report.Spans, *s)
+	}
+	sort.Slice(report.Spans, func(i, j int) bool {
+		a, b := &report.Spans[i], &report.Spans[j]
+		if a.Slot != b.Slot {
+			return a.Slot < b.Slot
+		}
+		return a.Pillar < b.Pillar
+	})
+	for i, st := range spanStages {
+		sum := recorders[i].Summarize()
+		report.Stages = append(report.Stages, StageSummary{
+			Stage: st.name,
+			Count: sum.Count,
+			AvgUS: sum.Avg.Microseconds(),
+			P50US: sum.P50.Microseconds(),
+			P90US: sum.P90.Microseconds(),
+			P99US: sum.P99.Microseconds(),
+			MaxUS: sum.Max.Microseconds(),
+		})
+	}
+	return report
+}
+
+// WriteSpanReport renders the per-stage latency table.
+func WriteSpanReport(w io.Writer, r SpanReport) error {
+	clock := "shared monotonic clock"
+	if !r.SharedClock {
+		clock = "wall clocks (cross-replica skew applies)"
+	}
+	if _, err := fmt.Fprintf(w, "%d spans (%d complete), %s\n", len(r.Spans), r.Complete, clock); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-18s %8s %10s %10s %10s %10s %10s\n",
+		"stage", "count", "avg", "p50", "p90", "p99", "max"); err != nil {
+		return err
+	}
+	for _, st := range r.Stages {
+		if st.Count == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-18s %8d %9dµs %9dµs %9dµs %9dµs %9dµs\n",
+			st.Stage, st.Count, st.AvgUS, st.P50US, st.P90US, st.P99US, st.MaxUS); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package audit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"hybster/internal/telemetry"
+)
+
+// originTolerance bounds how far apart two replicas' monotonic-clock
+// origins (wall time minus monotonic offset) may sit and still be
+// treated as the same clock. Replicas in one process share a clock
+// origin to the nanosecond; separate processes differ by however long
+// apart they started, which is orders of magnitude beyond this.
+const originTolerance = 2 * time.Millisecond
+
+// Merge folds per-replica event streams into one causally ordered
+// timeline. Each dump's header overrides the per-event replica and
+// protocol tags, so dumps from replicas that never tagged their
+// tracer still merge correctly.
+//
+// Ordering: when every stream shares one monotonic-clock origin
+// (replicas in one process — the in-process cluster and chaos
+// harness), events sort by the monotonic timestamp, which is exact
+// and immune to wall-clock steps. Otherwise events sort by wall
+// time, which is only as good as cross-machine clock sync — the
+// reason spans report per-stage statistics rather than trusting any
+// single cross-replica delta. Ties break by (replica, seq), so the
+// result is deterministic either way.
+func Merge(dumps ...*telemetry.TraceDump) []telemetry.Event {
+	var events []telemetry.Event
+	for _, d := range dumps {
+		if d == nil {
+			continue
+		}
+		for _, ev := range d.Events {
+			ev.Replica = d.Replica
+			if d.Protocol != "" {
+				ev.Protocol = d.Protocol
+			}
+			events = append(events, ev)
+		}
+	}
+	shared := sharedOrigin(events)
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := &events[i], &events[j]
+		ta, tb := eventTime(a, shared), eventTime(b, shared)
+		if ta != tb {
+			return ta < tb
+		}
+		if a.Replica != b.Replica {
+			return a.Replica < b.Replica
+		}
+		return a.Seq < b.Seq
+	})
+	return events
+}
+
+// sharedOrigin reports whether every event's monotonic clock is
+// anchored at the same wall-clock origin (see originTolerance).
+func sharedOrigin(events []telemetry.Event) bool {
+	var min, max int64
+	first := true
+	for i := range events {
+		origin := events[i].TS - events[i].Mono
+		if first {
+			min, max = origin, origin
+			first = false
+			continue
+		}
+		if origin < min {
+			min = origin
+		}
+		if origin > max {
+			max = origin
+		}
+	}
+	return !first && max-min <= int64(originTolerance)
+}
+
+// eventTime is the merge-ordering timestamp: monotonic when the
+// streams share an origin, wall otherwise.
+func eventTime(e *telemetry.Event, shared bool) int64 {
+	if shared {
+		return e.Mono
+	}
+	return e.TS
+}
+
+// WriteTimeline renders a merged timeline human-readably, one event
+// per line, with times relative to the first event.
+func WriteTimeline(w io.Writer, events []telemetry.Event) error {
+	if len(events) == 0 {
+		_, err := fmt.Fprintln(w, "(no events)")
+		return err
+	}
+	shared := sharedOrigin(events)
+	base := eventTime(&events[0], shared)
+	for i := range events {
+		e := &events[i]
+		line := fmt.Sprintf("%+14s  r%-2d %-10s %-14s v%-3d s%-6d p%d",
+			formatOffset(eventTime(e, shared)-base), e.Replica, e.Protocol, e.Kind, e.View, e.Slot, e.Pillar)
+		if e.Digest != "" {
+			line += "  d=" + e.Digest
+		}
+		if e.Note != "" {
+			line += "  " + e.Note
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatOffset renders a nanosecond offset as seconds with microsecond
+// precision ("+1.002003s").
+func formatOffset(ns int64) string {
+	return fmt.Sprintf("+%.6fs", float64(ns)/float64(time.Second))
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hybster/internal/apps/counter"
+	"hybster/internal/audit"
 	"hybster/internal/client"
 	"hybster/internal/cluster"
 	"hybster/internal/config"
@@ -44,6 +45,11 @@ type Options struct {
 	// MinPostHealCommits is the liveness bar: at least this many fresh
 	// requests must commit after everything heals (default 5).
 	MinPostHealCommits int
+	// Fork, when set, deliberately diverges one replica's state
+	// machine (see ForkSpec) so the run violates safety on purpose —
+	// the online auditor must end the run holding a digest-divergence
+	// finding, and Run returns an error.
+	Fork *ForkSpec
 	// DataRoot, when set, runs replicas with persistent data
 	// directories under it: crash+restart becomes a cold restart
 	// (recover from sealed counters and the WAL), and scheduled
@@ -90,6 +96,10 @@ type Result struct {
 	// the run (index = replica ID) — the post-mortem record a failed
 	// settle needs to reconstruct who stalled where.
 	Traces [][]telemetry.Event
+	// Audit is the online protocol auditor's final report: every
+	// chaos run is audited live (digest agreement throughout, liveness
+	// checks armed after the heal), and any finding fails the run.
+	Audit audit.Report
 }
 
 // Metric sums one metric across every replica's snapshot, matching
@@ -258,11 +268,14 @@ type run struct {
 	reg *historyRegistry
 	inj transport.Injector
 
+	mon *audit.Monitor
+
 	mu           sync.Mutex // guards cluster mutation + fields below
 	cl           *cluster.Cluster
 	incarnation  map[uint32]int
 	faulty       []*transport.FaultyEndpoint
 	restarted    map[uint32]bool
+	auditStopped bool
 	chaosCommits atomic.Uint64
 	healCommits  atomic.Uint64
 }
@@ -294,8 +307,15 @@ func configFor(p config.Protocol) config.Config {
 // tracked separately from its previous life.
 func (r *run) factory(cfg config.Config, id uint32, ep transport.Endpoint, env cluster.NodeEnv) (cluster.Replica, error) {
 	r.incarnation[id]++
+	var inner statemachine.Application = counter.New()
+	if r.opts.Fork != nil && r.opts.Fork.Replica == id {
+		// The fork sits inside the history recorder, so the recorder
+		// chains over the forked replica's (diverged) results and the
+		// history safety check fails alongside the auditor's finding.
+		inner = &forkApp{inner: inner}
+	}
 	app := &historyRecorder{
-		inner: counter.New(),
+		inner: inner,
 		reg:   r.reg,
 		inc:   fmt.Sprintf("r%d#%d", id, r.incarnation[id]),
 	}
@@ -370,6 +390,11 @@ func Run(o Options) (*Result, error) {
 		r.mu.Unlock()
 	}()
 
+	// Every chaos run is audited online: safety checks from the first
+	// poll, liveness checks armed once the cluster heals.
+	r.startAudit()
+	defer r.stopAudit()
+
 	o.Logf("chaos: %s under %s", o.Protocol, plan)
 
 	// Client load for the whole run: short per-attempt timeouts so
@@ -415,22 +440,29 @@ func Run(o Options) (*Result, error) {
 	r.mu.Unlock()
 	o.Logf("chaos: healed; max executed order %d; %d commits under faults",
 		healTarget, r.chaosCommits.Load())
+	r.mon.Auditor().EnableLiveness(true)
 
 	if err := r.settle(healTarget); err != nil {
 		if os.Getenv("CHAOS_DEBUG_STACKS") != "" {
 			_ = pprof.Lookup("goroutine").WriteTo(os.Stderr, 1)
 		}
+		r.stopAudit()
 		return r.result(), err
 	}
 
+	r.stopAudit()
 	res := r.result()
 	points, serr := r.reg.check()
 	res.HistoryPoints = points
 	if serr != nil {
 		return res, serr
 	}
-	o.Logf("chaos: safety ok over %d history points; %d post-heal commits",
-		points, res.PostHealCommits)
+	if n := len(res.Audit.Findings); n > 0 {
+		f := res.Audit.Findings[0]
+		return res, fmt.Errorf("chaos: auditor raised %d finding(s); first: [%s] %s", n, f.Kind, f.Detail)
+	}
+	o.Logf("chaos: safety ok over %d history points; audit clean over %d rounds; %d post-heal commits",
+		points, res.Audit.Rounds, res.PostHealCommits)
 	return res, nil
 }
 
@@ -624,6 +656,9 @@ func (r *run) result() *Result {
 	for id := uint32(0); int(id) < r.cfg.N; id++ {
 		res.Telemetry[id] = r.cl.Telemetry(id).Metrics().Snapshot()
 		res.Traces[id] = r.cl.Telemetry(id).Tracer().Events()
+	}
+	if r.mon != nil {
+		res.Audit = r.mon.Auditor().Report()
 	}
 	for _, f := range r.faulty {
 		s := f.Stats()

@@ -118,7 +118,7 @@ func New(opts Options, factory Factory) (*Cluster, error) {
 		ep := c.endpoint(id)
 		platform := enclave.NewPlatform(fmt.Sprintf("replica-%d", id))
 		c.platforms[id] = platform
-		c.telems[id] = telemetry.New(opts.Config.Protocol.String())
+		c.telems[id] = telemetry.NewFor(opts.Config.Protocol.String(), id)
 		if opts.DataRoot != "" {
 			dir := filepath.Join(opts.DataRoot, fmt.Sprintf("replica-%d", id))
 			if err := os.MkdirAll(dir, 0o755); err != nil {

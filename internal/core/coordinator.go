@@ -216,8 +216,9 @@ func (c *coordinator) handleStable(s *checkpoint.Stable[*message.Checkpoint]) {
 		st.snapshot, st.rv = cand.snapshot, cand.rv
 	}
 	c.lastStable = st
+	c.e.stableOrd.Store(uint64(s.Order))
 	c.e.met.ckptsStable.Inc()
-	c.e.trace(telemetry.EvCkptStable, uint64(c.curView), uint64(s.Order), 0, "")
+	c.e.traceD(telemetry.EvCkptStable, uint64(c.curView), uint64(s.Order), 0, s.Digest[:], "")
 	c.e.logCheckpoint(st)
 	for o := range c.candidates {
 		if o <= s.Order {
@@ -287,6 +288,7 @@ func (c *coordinator) handleStateReply(rep *message.StateReply) {
 			order: rep.CkptOrder, digest: digest, proof: rep.Proof,
 			snapshot: rep.Snapshot, rv: rep.ReplyVector,
 		}
+		c.e.stableOrd.Store(uint64(rep.CkptOrder))
 		c.e.logCheckpoint(c.lastStable)
 		for _, p := range c.e.pillars {
 			p.inbox.Put(evAdvance{order: rep.CkptOrder})

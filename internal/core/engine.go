@@ -102,6 +102,11 @@ type Engine struct {
 	// reads on hot paths.
 	curView atomic.Uint64
 
+	// stableOrd mirrors the coordinator's last stable checkpoint order
+	// for lock-free gauge sampling (the auditor's checkpoint-lag check
+	// reads it against last_executed).
+	stableOrd atomic.Uint64
+
 	// progress tracking for the view-change watchdog.
 	pendingSince atomic.Int64 // unix nanos of oldest unserved work; 0 = none
 

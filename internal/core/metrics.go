@@ -73,6 +73,8 @@ func (e *Engine) registerGauges(tel *telemetry.Telemetry) {
 		func() float64 { return float64(e.curView.Load()) })
 	tel.GaugeFunc("hybster_core_last_executed", "highest executed order number",
 		func() float64 { return float64(e.exec.last.Load()) })
+	tel.GaugeFunc("hybster_core_stable_checkpoint", "last stable checkpoint order",
+		func() float64 { return float64(e.stableOrd.Load()) })
 	for _, p := range e.pillars {
 		p := p
 		tel.GaugeFunc("hybster_core_pillar_mailbox_depth", "queued pillar events",
@@ -101,6 +103,13 @@ func registerMarshalGauges(tel *telemetry.Telemetry) {
 // trace records one protocol event on the engine's tracer (nil-safe).
 func (e *Engine) trace(kind telemetry.EventKind, view, slot uint64, pillar uint32, note string) {
 	e.met.tel.Trace(kind, view, slot, pillar, note)
+}
+
+// traceD records one protocol event carrying the digest the event is
+// about — the correlation key the cluster auditor compares across
+// replicas (nil-safe).
+func (e *Engine) traceD(kind telemetry.EventKind, view, slot uint64, pillar uint32, digest []byte, note string) {
+	e.met.tel.TraceDigest(kind, view, slot, pillar, digest, note)
 }
 
 // Telemetry returns the engine's telemetry bundle (nil when disabled);

@@ -283,7 +283,8 @@ func (p *pillar) sendPrepare(ev evPropose) {
 	s := p.win.SetPrepare(prep)
 	p.ownMsg[ev.order] = prep
 	p.met.prepares.Inc()
-	p.e.trace(telemetry.EvPropose, uint64(ev.view), uint64(ev.order), p.idx, "")
+	bd := prep.BatchDigest()
+	p.e.traceD(telemetry.EvPropose, uint64(ev.view), uint64(ev.order), p.idx, bd[:], "")
 	transport.Multicast(p.e.ep, p.e.cfg.N, prep)
 	p.maybeDeliver(s)
 }
@@ -305,7 +306,7 @@ func (p *pillar) sendCommit(m *message.Prepare) {
 	p.win.Refresh(s)
 	p.ownMsg[m.Order] = com
 	p.met.commits.Inc()
-	p.e.trace(telemetry.EvCommit, uint64(m.View), uint64(m.Order), p.idx, "")
+	p.e.traceD(telemetry.EvCommit, uint64(m.View), uint64(m.Order), p.idx, com.BatchDigest[:], "")
 	transport.Multicast(p.e.ep, p.e.cfg.N, com)
 	p.maybeDeliver(s)
 }
@@ -318,7 +319,7 @@ func (p *pillar) maybeDeliver(s *slot) {
 	}
 	s.Executed = true
 	p.met.committed.Inc()
-	p.e.trace(telemetry.EvDeliver, uint64(s.Prepare.View), uint64(s.Order), p.idx, "")
+	p.e.traceD(telemetry.EvDeliver, uint64(s.Prepare.View), uint64(s.Order), p.idx, s.BatchDigest[:], "")
 	p.e.logDecision(s.Prepare.View, s.Order, s.Prepare.Requests)
 	p.e.exec.inbox.Put(evExec{order: s.Order, batch: s.Prepare.Requests})
 	if s.Prepare.Cert.Issuer.Replica() == p.e.id {
@@ -337,7 +338,7 @@ func (p *pillar) handleCkptDue(ev evCkptDue) {
 	ck.Cert = cert
 	p.ownCkpt[ev.order] = ck
 	p.e.met.ckptsOwn.Inc()
-	p.e.trace(telemetry.EvCheckpoint, uint64(p.view), uint64(ev.order), p.idx, "")
+	p.e.traceD(telemetry.EvCheckpoint, uint64(p.view), uint64(ev.order), p.idx, ev.digest[:], "")
 	transport.Multicast(p.e.ep, p.e.cfg.N, ck)
 	p.addCheckpoint(ck)
 }

@@ -84,6 +84,7 @@ func (e *Engine) restore() {
 			order: ck.Order, digest: ck.Digest, proof: ck.Proof,
 			snapshot: ck.Snapshot, rv: ck.ReplyVector,
 		}
+		e.stableOrd.Store(uint64(ck.Order))
 		for _, p := range e.pillars {
 			p.advance(ck.Order)
 		}

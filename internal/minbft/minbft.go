@@ -167,6 +167,19 @@ type Engine struct {
 
 	suspects atomic.Uint64 // leader-timeout events (diagnostics)
 	met      engineMetrics
+	// gm mirrors loop-owned fields for lock-free gauge sampling; the
+	// run loop refreshes it after every event (see publishGauges).
+	gm gaugeMirror
+
+	// deaf marks sender streams whose expected-counter gap exceeded the
+	// holdback horizon with an ordering message parked — a stream that
+	// can never drain on its own (PR 8's "deaf replica" class). Cleared
+	// when the stream advances or a view-change message re-anchors it.
+	// The map is confined to the run goroutine; deafStreams mirrors its
+	// size for lock-free gauge sampling (the auditor's deaf-stream
+	// check scrapes it).
+	deaf        map[uint32]bool
+	deafStreams atomic.Int64
 
 	// seenMAC[r] is a bounded ring of the UI MACs accepted from replica
 	// r, keyed by counter value. A replay carries the exact MAC we
@@ -239,6 +252,7 @@ func New(opts Options) (*Engine, error) {
 		seenMAC:        make(map[uint32]map[uint64]crypto.MAC),
 		zombies:        make(map[uint32]bool),
 		zombieSet:      make(map[uint32]bool),
+		deaf:           make(map[uint32]bool),
 	}
 	e.exec = newExecLoop(e, opts.Application)
 	e.vpool = verify.NewPool(e.ks, 0, opts.Telemetry)
@@ -246,6 +260,7 @@ func New(opts Options) (*Engine, error) {
 	for r := uint32(0); int(r) < opts.Config.N; r++ {
 		e.expected[r] = 1
 	}
+	e.publishGauges()
 	e.registerGauges(opts.Telemetry)
 	return e, nil
 }
@@ -412,6 +427,7 @@ func (e *Engine) handleEvent(ev any) {
 	case evTick:
 		e.handleTick()
 	}
+	e.publishGauges()
 }
 
 // evCkptDue carries a checkpoint boundary from the execution loop to
@@ -501,8 +517,13 @@ func (e *Engine) ingest(from uint32, ui usig.UI, m message.Message, verified boo
 				e.recordSeen(from, ui)
 				e.process(from, m, verified)
 				e.expected[from] = ui.Counter + 1
+				e.clearDeaf(from)
 				return
 			}
+			// An ordering message across an undrainable gap: the stream
+			// is deaf until a self-contained view-change message
+			// re-anchors it. Surface the condition for the auditor.
+			e.markDeaf(from)
 		}
 		hb := e.holdback[from]
 		if hb == nil {
@@ -518,6 +539,7 @@ func (e *Engine) ingest(from uint32, ui usig.UI, m message.Message, verified boo
 	e.recordSeen(from, ui)
 	e.process(from, m, verified)
 	e.expected[from] = want + 1
+	e.clearDeaf(from)
 	// Drain consecutive held-back messages.
 	for {
 		next, ok := e.holdback[from][e.expected[from]]
@@ -531,6 +553,27 @@ func (e *Engine) ingest(from uint32, ui usig.UI, m message.Message, verified boo
 		e.process(from, next.msg, next.verified)
 		e.expected[from]++
 	}
+}
+
+// markDeaf records that from's counter stream has an undrainable gap:
+// an ordering message parked beyond the holdback horizon. The gauge
+// mirror lets the cluster auditor see the condition from outside.
+func (e *Engine) markDeaf(from uint32) {
+	if e.deaf[from] {
+		return
+	}
+	e.deaf[from] = true
+	e.deafStreams.Add(1)
+}
+
+// clearDeaf retires a deaf marking once the stream advances (a drain
+// reached expected) or a view-change message re-anchored it.
+func (e *Engine) clearDeaf(from uint32) {
+	if !e.deaf[from] {
+		return
+	}
+	delete(e.deaf, from)
+	e.deafStreams.Add(-1)
 }
 
 // recordSeen remembers the MAC accepted under a counter value, bounded
@@ -660,7 +703,8 @@ func (e *Engine) propose() {
 		prep.UI = ui
 		e.recordSent(ui, e.nextOrder, prep)
 		e.met.prepares.Inc()
-		e.trace(telemetry.EvPropose, uint64(e.view), uint64(e.nextOrder), "")
+		bd := message.BatchDigest(batch)
+		e.traceD(telemetry.EvPropose, uint64(e.view), uint64(e.nextOrder), bd[:], "")
 		transport.Multicast(e.ep, e.cfg.N, prep)
 		// The leader's own prepare is processed inline (its UI is the
 		// next expected from itself).
@@ -725,7 +769,7 @@ func (e *Engine) handlePrepare(from uint32, p *message.MinPrepare, authVerified 
 		e.recordSent(ui, o, com)
 		s.acks[e.id] = true
 		e.met.commits.Inc()
-		e.trace(telemetry.EvCommit, uint64(e.view), uint64(o), "")
+		e.traceD(telemetry.EvCommit, uint64(e.view), uint64(o), s.batchDigest[:], "")
 		transport.Multicast(e.ep, e.cfg.N, com)
 	}
 	// Commits that overtook this prepare are waiting for it.
@@ -790,7 +834,7 @@ func (e *Engine) refresh(s *slot) {
 	if s.committed && !s.executed {
 		s.executed = true
 		e.met.committed.Inc()
-		e.trace(telemetry.EvDeliver, uint64(e.view), uint64(s.order), "")
+		e.traceD(telemetry.EvDeliver, uint64(e.view), uint64(s.order), s.batchDigest[:], "")
 		// A commit is ordering progress: the leader is doing its job, so
 		// the suspicion clock restarts. Execution progress alone is the
 		// wrong signal here — a replica that missed an instance later
@@ -838,7 +882,7 @@ func (e *Engine) checkpointDue(ev evCkptDue) {
 	ck.Cert.Value = ui.Counter
 	ck.Cert.MAC = ui.MAC
 	e.met.ckptsOwn.Inc()
-	e.trace(telemetry.EvCheckpoint, uint64(e.view), uint64(o), "")
+	e.traceD(telemetry.EvCheckpoint, uint64(e.view), uint64(o), digest[:], "")
 	transport.Multicast(e.ep, e.cfg.N, ck)
 	e.addCheckpoint(e.id, ck)
 }
@@ -864,7 +908,7 @@ func (e *Engine) addCheckpoint(from uint32, ck *message.Checkpoint) {
 	if stable != nil && stable.Order > e.low {
 		e.low = stable.Order
 		e.met.ckptsStable.Inc()
-		e.trace(telemetry.EvCkptStable, uint64(e.view), uint64(stable.Order), "")
+		e.traceD(telemetry.EvCkptStable, uint64(e.view), uint64(stable.Order), stable.Digest[:], "")
 		e.ckptProof = stable.Proof
 		for o := range e.slots {
 			if o <= stable.Order {

@@ -144,8 +144,9 @@ func (c *coordinator) handleStable(s *checkpoint.Stable[*message.PBFTCheckpoint]
 		st.snapshot, st.rv = cand.snapshot, cand.rv
 	}
 	c.lastStable = st
+	c.e.stableOrd.Store(uint64(s.Order))
 	c.e.met.ckptsStable.Inc()
-	c.e.trace(telemetry.EvCkptStable, uint64(c.curView), uint64(s.Order), 0, "")
+	c.e.traceD(telemetry.EvCkptStable, uint64(c.curView), uint64(s.Order), 0, s.Digest[:], "")
 	for o := range c.candidates {
 		if o <= s.Order {
 			delete(c.candidates, o)
@@ -226,6 +227,16 @@ func (c *coordinator) handleTick() {
 	}
 	now := c.e.now()
 	ps := c.e.pendingSince.Load()
+	if c.lastStable.order > c.e.exec.lastExecuted() {
+		// A stable checkpoint lies beyond what local execution can
+		// reach — state transfer is the only way forward, and the
+		// one-shot request issued when the checkpoint was adopted can
+		// be lost on a faulty link. Keep retrying (rate-limited inside
+		// maybeRequestState); without this a lagging replica wedges
+		// forever, and if the laggards hold the quorum margin, the
+		// whole cluster stops committing.
+		c.maybeRequestState()
+	}
 
 	if !c.pending {
 		if ps != 0 && now.Sub(time.Unix(0, ps)) > c.e.cfg.ViewChangeTimeout {
@@ -506,6 +517,7 @@ func (c *coordinator) install(w timeline.View, startCkpt timeline.Order, pps []*
 					c.lastStable = stableCkpt{
 						order: startCkpt, digest: vc.CkptProof[0].StateDigest, proof: vc.CkptProof,
 					}
+					c.e.stableOrd.Store(uint64(startCkpt))
 				}
 			}
 		}

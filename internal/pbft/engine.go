@@ -70,6 +70,9 @@ type Engine struct {
 
 	curView      atomic.Uint64
 	pendingSince atomic.Int64
+	// stableOrd mirrors the coordinator's last stable checkpoint order
+	// for lock-free gauge sampling (the auditor's checkpoint-lag check).
+	stableOrd atomic.Uint64
 
 	stopOnce sync.Once
 	stopped  chan struct{}

@@ -191,7 +191,7 @@ func (p *pillar) handlePropose(ev evPropose) {
 	s.prePrepare = pp
 	s.batchDigest = pp.BatchDigest()
 	p.met.preprepares.Inc()
-	p.e.trace(telemetry.EvPropose, uint64(ev.view), uint64(ev.order), p.idx, "")
+	p.e.traceD(telemetry.EvPropose, uint64(ev.view), uint64(ev.order), p.idx, s.batchDigest[:], "")
 	transport.Multicast(p.e.ep, p.e.cfg.N, pp)
 	p.progress(s)
 }
@@ -245,7 +245,7 @@ func (p *pillar) acceptPrePrepare(pp *message.PrePrepare) {
 		prep.Proof = proof
 		s.prepares[p.e.id] = prep
 		p.met.prepares.Inc()
-		p.e.trace(telemetry.EvPrepare, uint64(pp.View), uint64(pp.Order), p.idx, "")
+		p.e.traceD(telemetry.EvPrepare, uint64(pp.View), uint64(pp.Order), p.idx, s.batchDigest[:], "")
 		transport.Multicast(p.e.ep, p.e.cfg.N, prep)
 	}
 	p.progress(s)
@@ -315,7 +315,7 @@ func (p *pillar) progress(s *pslot) {
 			com.Proof = proof
 			s.commits[p.e.id] = true
 			p.met.commits.Inc()
-			p.e.trace(telemetry.EvCommit, uint64(s.view), uint64(s.order), p.idx, "")
+			p.e.traceD(telemetry.EvCommit, uint64(s.view), uint64(s.order), p.idx, s.batchDigest[:], "")
 			transport.Multicast(p.e.ep, p.e.cfg.N, com)
 		}
 	}
@@ -325,7 +325,7 @@ func (p *pillar) progress(s *pslot) {
 	if s.committed && !s.executed {
 		s.executed = true
 		p.met.committed.Inc()
-		p.e.trace(telemetry.EvDeliver, uint64(s.view), uint64(s.order), p.idx, "")
+		p.e.traceD(telemetry.EvDeliver, uint64(s.view), uint64(s.order), p.idx, s.batchDigest[:], "")
 		p.e.exec.inbox.Put(evExec{order: s.order, batch: s.prePrepare.Requests})
 		if p.e.cfg.ProposerOf(s.view, s.order) == p.e.id {
 			p.e.seq.credit(p.idx)
@@ -344,7 +344,7 @@ func (p *pillar) handleCkptDue(ev evCkptDue) {
 	ck.Proof = proof
 	p.ownCkpt[ev.order] = ck
 	p.e.met.ckptsOwn.Inc()
-	p.e.trace(telemetry.EvCheckpoint, uint64(p.view), uint64(ev.order), p.idx, "")
+	p.e.traceD(telemetry.EvCheckpoint, uint64(p.view), uint64(ev.order), p.idx, ev.digest[:], "")
 	transport.Multicast(p.e.ep, p.e.cfg.N, ck)
 	p.addCheckpoint(ck)
 }

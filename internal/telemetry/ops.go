@@ -27,6 +27,12 @@ type OpsOptions struct {
 	// empty disables the endpoint (405/404 semantics: 503 with a
 	// message).
 	TraceDumpDir string
+	// Audit, when set, backs the /audit endpoint: it returns the
+	// current protocol-auditor report (any JSON-encodable value —
+	// typically an audit.Report). Nil leaves /audit returning 404.
+	// Health demotion on findings is the caller's concern: compose the
+	// auditor's health check into Readyz.
+	Audit func() any
 }
 
 // OpsServer is the replica's operations endpoint: Prometheus metrics,
@@ -49,6 +55,7 @@ func NewOpsServer(opts OpsOptions) *OpsServer {
 	mux.HandleFunc("/vars", s.handleVars)
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/trace/dump", s.handleTraceDump)
+	mux.HandleFunc("/audit", s.handleAudit)
 	mux.HandleFunc("/healthz", probeHandler(opts.Healthz))
 	mux.HandleFunc("/readyz", probeHandler(opts.Readyz))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -138,6 +145,17 @@ func (s *OpsServer) handleTraceDump(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]string{"dumped": path})
+}
+
+func (s *OpsServer) handleAudit(w http.ResponseWriter, _ *http.Request) {
+	if s.opts.Audit == nil {
+		http.Error(w, "no auditor configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(s.opts.Audit())
 }
 
 // probeHandler turns a health callback into an HTTP probe: 200 "ok" or

@@ -16,6 +16,14 @@ func New(protocol string) *Telemetry {
 	return &Telemetry{metrics: NewRegistry(), tracer: NewTracer(protocol, 0)}
 }
 
+// NewFor creates a bundle whose tracer is additionally tagged with the
+// replica's ID — the identity cross-replica trace merging keys on.
+func NewFor(protocol string, replica uint32) *Telemetry {
+	t := New(protocol)
+	t.tracer.SetReplica(replica)
+	return t
+}
+
 // NewWith assembles a bundle from existing parts (either may be nil).
 func NewWith(reg *Registry, tr *Tracer) *Telemetry {
 	return &Telemetry{metrics: reg, tracer: tr}
@@ -60,4 +68,10 @@ func (t *Telemetry) Histogram(name, help string, labels ...Label) *Histogram {
 // Trace records one protocol event (nil-safe).
 func (t *Telemetry) Trace(kind EventKind, view, slot uint64, pillar uint32, note string) {
 	t.Tracer().Record(kind, view, slot, pillar, note)
+}
+
+// TraceDigest records one protocol event carrying a digest correlation
+// key (nil-safe).
+func (t *Telemetry) TraceDigest(kind EventKind, view, slot uint64, pillar uint32, digest []byte, note string) {
+	t.Tracer().RecordDigest(kind, view, slot, pillar, digest, note)
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,20 +17,20 @@ import (
 type EventKind uint8
 
 const (
-	EvPropose      EventKind = iota + 1 // own proposal certified (PREPARE sent)
-	EvPrepare                           // foreign PREPARE accepted
-	EvCommit                            // COMMIT sent or accepted
-	EvDeliver                           // instance committed, handed to execution
-	EvExec                              // batch executed by the application
-	EvCheckpoint                        // own CHECKPOINT announced
-	EvCkptStable                        // checkpoint reached quorum stability
-	EvViewChange                        // VIEW-CHANGE parts emitted (view abort)
-	EvNewView                           // new view installed
-	EvStateXfer                         // state transfer installed a snapshot
-	EvRetransmit                        // stalled instance re-multicast
-	EvRecovery                          // boot-time recovery milestone
-	EvSeal                              // trusted counter horizon sealed
-	EvCrash                             // harness-injected crash/restart marker
+	EvPropose    EventKind = iota + 1 // own proposal certified (PREPARE sent)
+	EvPrepare                         // foreign PREPARE accepted
+	EvCommit                          // COMMIT sent or accepted
+	EvDeliver                         // instance committed, handed to execution
+	EvExec                            // batch executed by the application
+	EvCheckpoint                      // own CHECKPOINT announced
+	EvCkptStable                      // checkpoint reached quorum stability
+	EvViewChange                      // VIEW-CHANGE parts emitted (view abort)
+	EvNewView                         // new view installed
+	EvStateXfer                       // state transfer installed a snapshot
+	EvRetransmit                      // stalled instance re-multicast
+	EvRecovery                        // boot-time recovery milestone
+	EvSeal                            // trusted counter horizon sealed
+	EvCrash                           // harness-injected crash/restart marker
 )
 
 var eventKindNames = map[EventKind]string{
@@ -60,21 +61,79 @@ func (k EventKind) String() string {
 // MarshalJSON renders the kind by name.
 func (k EventKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
 
+// UnmarshalJSON parses a kind by its taxonomy name (offline trace
+// merging reads dumped rings back in).
+func (k *EventKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for kind, name := range eventKindNames {
+		if name == s {
+			*k = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown event kind %q", s)
+}
+
+// DigestPrefixLen is how many bytes of a correlated digest an event
+// retains. Eight bytes (16 hex characters) is far beyond accidental
+// collision range for the windows a trace ring spans, while keeping
+// events fixed-size and dumps compact.
+const DigestPrefixLen = 8
+
+// DigestPrefix renders the correlation key stored in Event.Digest: the
+// hex encoding of the digest's first DigestPrefixLen bytes.
+func DigestPrefix(d []byte) string {
+	if len(d) == 0 {
+		return ""
+	}
+	if len(d) > DigestPrefixLen {
+		d = d[:DigestPrefixLen]
+	}
+	return hex.EncodeToString(d)
+}
+
+// monoBase anchors every tracer's monotonic timestamps to one
+// process-wide origin, so within a process (in-process clusters, the
+// chaos harness) monotonic deltas are directly comparable across
+// replicas. Across processes each replica has its own origin; the
+// audit layer uses the (wall, mono) pair to bound cross-replica skew
+// instead of trusting either clock alone.
+var monoBase = time.Now()
+
 // Event is one traced protocol event, keyed the way the protocols
-// address work: protocol, view, slot (order number), pillar.
+// address work: protocol, view, slot (order number), pillar — plus the
+// cross-replica correlation keys the audit layer merges on: the
+// replica that recorded it and the digest prefix of the batch or state
+// the event is about.
 type Event struct {
 	// Seq is the event's position in the replica's trace stream (total
 	// events recorded, not ring position); gaps after a dump reveal how
 	// much the ring dropped.
 	Seq uint64 `json:"seq"`
 	// TS is the wall-clock timestamp in nanoseconds since the epoch.
+	// Comparable across machines only up to clock skew.
 	TS int64 `json:"ts_ns"`
+	// Mono is a monotonic timestamp in nanoseconds since a per-process
+	// origin: exact for intra-replica (and in-process cross-replica)
+	// latencies, immune to wall-clock steps.
+	Mono int64 `json:"mono_ns"`
+	// Replica is the recording replica's ID (set via Tracer.SetReplica;
+	// 0 when untagged).
+	Replica uint32 `json:"replica"`
 	// Protocol names the engine ("hybster", "pbft", "minbft").
 	Protocol string    `json:"protocol,omitempty"`
 	Kind     EventKind `json:"kind"`
 	View     uint64    `json:"view"`
 	Slot     uint64    `json:"slot"`
 	Pillar   uint32    `json:"pillar"`
+	// Digest is the hex prefix of the digest this event is about — the
+	// batch digest for ordering events, the state digest for checkpoint
+	// events — and the correlation key cross-replica divergence checks
+	// compare. Empty when the event has no associated digest.
+	Digest string `json:"digest,omitempty"`
 	// Note carries bounded free-form context ("from=2", "noop").
 	Note string `json:"note,omitempty"`
 }
@@ -87,9 +146,10 @@ type Event struct {
 type Tracer struct {
 	protocol string
 
-	mu   sync.Mutex
-	ring []Event
-	next uint64 // total events ever recorded
+	mu      sync.Mutex
+	replica uint32
+	ring    []Event
+	next    uint64 // total events ever recorded
 }
 
 // DefaultTraceDepth is the ring size NewTracer uses for 0.
@@ -104,17 +164,40 @@ func NewTracer(protocol string, depth int) *Tracer {
 	return &Tracer{protocol: protocol, ring: make([]Event, depth)}
 }
 
-// Record appends one event, overwriting the oldest once the ring is
-// full. Nil-safe.
-func (t *Tracer) Record(kind EventKind, view, slot uint64, pillar uint32, note string) {
+// SetReplica tags every subsequently recorded event (and the dump
+// header) with the replica's ID, the identity cross-replica merging
+// keys on. Nil-safe.
+func (t *Tracer) SetReplica(id uint32) {
 	if t == nil {
 		return
 	}
-	now := time.Now().UnixNano()
+	t.mu.Lock()
+	t.replica = id
+	t.mu.Unlock()
+}
+
+// Record appends one event, overwriting the oldest once the ring is
+// full. Nil-safe.
+func (t *Tracer) Record(kind EventKind, view, slot uint64, pillar uint32, note string) {
+	t.record(kind, view, slot, pillar, "", note)
+}
+
+// RecordDigest appends one event carrying a digest correlation key
+// (the first DigestPrefixLen bytes, hex). Nil-safe.
+func (t *Tracer) RecordDigest(kind EventKind, view, slot uint64, pillar uint32, digest []byte, note string) {
+	t.record(kind, view, slot, pillar, DigestPrefix(digest), note)
+}
+
+func (t *Tracer) record(kind EventKind, view, slot uint64, pillar uint32, digest, note string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
 	t.mu.Lock()
 	t.ring[t.next%uint64(len(t.ring))] = Event{
-		Seq: t.next, TS: now, Protocol: t.protocol,
-		Kind: kind, View: view, Slot: slot, Pillar: pillar, Note: note,
+		Seq: t.next, TS: now.UnixNano(), Mono: now.Sub(monoBase).Nanoseconds(),
+		Replica: t.replica, Protocol: t.protocol,
+		Kind: kind, View: view, Slot: slot, Pillar: pillar, Digest: digest, Note: note,
 	}
 	t.next++
 	t.mu.Unlock()
@@ -154,22 +237,46 @@ func (t *Tracer) Events() []Event {
 	return out
 }
 
-// traceDump is the JSON envelope of a dumped ring.
-type traceDump struct {
-	Protocol string  `json:"protocol"`
-	Dumped   int64   `json:"dumped_ts_ns"`
-	Total    uint64  `json:"total_events"`
-	Events   []Event `json:"events"`
+// TraceDump is the JSON envelope of a dumped ring. The header fields
+// (replica, protocol, ring depth, drop count) make a dump file
+// self-describing: offline merging never depends on filenames or
+// out-of-band knowledge of which replica produced it.
+type TraceDump struct {
+	Replica   uint32 `json:"replica"`
+	Protocol  string `json:"protocol"`
+	RingDepth int    `json:"ring_depth"`
+	Dumped    int64  `json:"dumped_ts_ns"`
+	Total     uint64 `json:"total_events"`
+	// Dropped counts events the ring overwrote before the dump: Total
+	// minus the events the file actually carries.
+	Dropped uint64  `json:"dropped_events"`
+	Events  []Event `json:"events"`
 }
 
-// WriteJSON writes the retained events as a JSON document.
+// WriteJSON writes the retained events as a JSON document (a TraceDump).
+// Events and header are captured under one lock acquisition, so the
+// header's totals describe exactly the events the dump carries even
+// while recording continues concurrently.
 func (t *Tracer) WriteJSON(w io.Writer) error {
 	if t == nil {
-		return json.NewEncoder(w).Encode(traceDump{})
+		return json.NewEncoder(w).Encode(TraceDump{})
 	}
-	events := t.Events()
 	t.mu.Lock()
-	d := traceDump{Protocol: t.protocol, Dumped: time.Now().UnixNano(), Total: t.next, Events: events}
+	n := uint64(len(t.ring))
+	start, count := uint64(0), t.next
+	if t.next > n {
+		start, count = t.next-n, n
+	}
+	events := make([]Event, 0, count)
+	for i := uint64(0); i < count; i++ {
+		events = append(events, t.ring[(start+i)%n])
+	}
+	d := TraceDump{
+		Replica: t.replica, Protocol: t.protocol, RingDepth: len(t.ring),
+		Dumped: time.Now().UnixNano(), Total: t.next,
+		Dropped: t.next - uint64(len(events)),
+		Events:  events,
+	}
 	t.mu.Unlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -196,4 +303,13 @@ func (t *Tracer) DumpFile(dir string) (string, error) {
 		return "", fmt.Errorf("telemetry: trace dump: %w", err)
 	}
 	return path, nil
+}
+
+// ReadDump parses a dumped ring back in (the offline half of DumpFile).
+func ReadDump(r io.Reader) (*TraceDump, error) {
+	var d TraceDump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("telemetry: read trace dump: %w", err)
+	}
+	return &d, nil
 }

@@ -137,3 +137,46 @@ func TestDumpFile(t *testing.T) {
 		t.Fatalf("oldest retained event wrong: %+v", d.Events[0])
 	}
 }
+
+// TestDumpHeaderRoundTrip pins the self-describing dump header (replica
+// ID, protocol, ring depth, drop count) and the digest/timestamp fields
+// through a DumpFile → ReadDump round trip: offline merging must never
+// depend on filenames.
+func TestDumpHeaderRoundTrip(t *testing.T) {
+	tr := NewTracer("hybster", 4)
+	tr.SetReplica(2)
+	dig := []byte{0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5, 6}
+	for i := 0; i < 6; i++ {
+		tr.RecordDigest(EvCommit, 1, uint64(i), 0, dig, "")
+	}
+	dir := t.TempDir()
+	path, err := tr.DumpFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := ReadDump(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Replica != 2 || d.Protocol != "hybster" || d.RingDepth != 4 {
+		t.Fatalf("header wrong: %+v", d)
+	}
+	if d.Total != 6 || d.Dropped != 2 || len(d.Events) != 4 {
+		t.Fatalf("accounting wrong: total=%d dropped=%d events=%d", d.Total, d.Dropped, len(d.Events))
+	}
+	ev := d.Events[0]
+	if ev.Replica != 2 || ev.Kind != EvCommit {
+		t.Fatalf("event lost tags through round trip: %+v", ev)
+	}
+	if want := DigestPrefix(dig); ev.Digest != want || len(ev.Digest) != 2*DigestPrefixLen {
+		t.Fatalf("digest prefix = %q, want %q", ev.Digest, want)
+	}
+	if ev.TS == 0 || ev.Mono == 0 {
+		t.Fatalf("timestamps missing: ts=%d mono=%d", ev.TS, ev.Mono)
+	}
+}

@@ -1,0 +1,27 @@
+#!/bin/sh
+# bench-compare runs a fresh quick benchmark sweep and diffs its
+# throughput against the committed baseline in results/fig5c.json,
+# failing when any (series, cores) point dropped by more than the
+# threshold — the guard that keeps the performance trajectory from
+# silently eroding PR over PR.
+#
+# Usage: scripts/bench-compare.sh [threshold]   (default: 0.25)
+#
+# Exit status: 0 within threshold, 2 on regression. CI runs this
+# warn-only (|| true): shared runners are too noisy to gate merges on
+# a single quick sweep, but the table in the log still names the
+# offending point the moment a real regression lands.
+set -eu
+
+THRESHOLD=${1:-0.25}
+BASELINE=results/fig5c.json
+FRESH=$(mktemp -d)
+trap 'rm -rf "$FRESH"' EXIT INT TERM
+
+[ -f "$BASELINE" ] || { echo "bench-compare: missing baseline $BASELINE" >&2; exit 1; }
+
+# Match the baseline's parameters (quick sweep, 16 clients, 1s
+# windows) so the comparison is apples to apples.
+go run ./cmd/hybster-bench -figure 5c -quick -clients 16 -json -results "$FRESH" >/dev/null
+
+go run scripts/benchcmp.go -threshold "$THRESHOLD" "$BASELINE" "$FRESH/fig5c.json"

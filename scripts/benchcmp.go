@@ -1,0 +1,107 @@
+//go:build ignore
+
+// Benchcmp diffs two hybster-bench -json result files point by point
+// and fails on throughput regressions beyond a threshold. It is run by
+// scripts/bench-compare.sh:
+//
+//	go run scripts/benchcmp.go -threshold 0.25 baseline.json fresh.json
+//
+// Points are matched on (series, x). Fresh points missing from the
+// baseline are reported but never fatal (new series are progress, not
+// regressions); baseline points missing from the fresh run fail, since
+// a silently dropped configuration is exactly what a trajectory check
+// exists to catch.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type resultFile struct {
+	Figure string  `json:"figure"`
+	Points []point `json:"points"`
+}
+
+type point struct {
+	Series     string  `json:"series"`
+	X          float64 `json:"x"`
+	Throughput float64 `json:"throughput_ops"`
+}
+
+func load(path string) (*resultFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r resultFile
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.25, "max tolerated fractional throughput drop")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: go run scripts/benchcmp.go [-threshold 0.25] baseline.json fresh.json")
+		os.Exit(1)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	fresh, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+
+	type key struct {
+		series string
+		x      float64
+	}
+	got := make(map[key]float64, len(fresh.Points))
+	for _, p := range fresh.Points {
+		got[key{p.Series, p.X}] = p.Throughput
+	}
+	seen := make(map[key]bool, len(base.Points))
+
+	fmt.Printf("%-12s %6s %14s %14s %8s\n", "series", "x", "baseline", "fresh", "delta")
+	regressions := 0
+	for _, p := range base.Points {
+		k := key{p.Series, p.X}
+		seen[k] = true
+		cur, ok := got[k]
+		if !ok {
+			fmt.Printf("%-12s %6g %14.0f %14s %8s  MISSING\n", p.Series, p.X, p.Throughput, "-", "-")
+			regressions++
+			continue
+		}
+		delta := 0.0
+		if p.Throughput > 0 {
+			delta = (cur - p.Throughput) / p.Throughput
+		}
+		mark := ""
+		if delta < -*threshold {
+			mark = fmt.Sprintf("  REGRESSION (>%g%% drop)", *threshold*100)
+			regressions++
+		}
+		fmt.Printf("%-12s %6g %14.0f %14.0f %+7.1f%%%s\n", p.Series, p.X, p.Throughput, cur, delta*100, mark)
+	}
+	for _, p := range fresh.Points {
+		if k := (key{p.Series, p.X}); !seen[k] {
+			fmt.Printf("%-12s %6g %14s %14.0f %8s  (new, no baseline)\n", p.Series, p.X, "-", p.Throughput, "-")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d point(s) regressed beyond %g%%\n", regressions, *threshold*100)
+		os.Exit(2)
+	}
+	fmt.Println("benchcmp: within threshold")
+}
