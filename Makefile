@@ -56,10 +56,12 @@ HOTPATH_BENCHTIME ?= 0.3s
 bench-hotpath:
 	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchmem \
 		-benchtime $(HOTPATH_BENCHTIME) \
-		./internal/message/ ./internal/cop/ ./internal/transport/ ./internal/cluster/ \
+		./internal/message/ ./internal/cop/ ./internal/transport/ ./internal/reply/ ./internal/cluster/ \
 		| tee BENCH_hotpath.txt
-	$(GO) run ./cmd/hybster-bench -figure 5c -quick -duration 1s -clients 16 -json \
-		> BENCH_fig5c.json
+	$(GO) run ./cmd/hybster-bench -figure 5c -quick -duration 1s -clients 96 \
+		-json -results .bench-scratch
+	mv .bench-scratch/fig5c.json BENCH_fig5c.json
+	rm -rf .bench-scratch
 
 # Throughput-regression guard: fresh quick sweep vs the committed
 # baseline in results/fig5c.json (>25% drop on any point fails).

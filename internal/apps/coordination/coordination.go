@@ -325,11 +325,11 @@ func (s *Service) Snapshot() []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := message.NewEncoder(1024)
-	s.snapshotNode(e, s.root)
+	snapshotNode(e, s.root)
 	return e.Bytes()
 }
 
-func (s *Service) snapshotNode(e *message.Encoder, n *node) {
+func snapshotNode(e *message.Encoder, n *node) {
 	e.VarBytes(n.data)
 	e.U64(n.version)
 	names := make([]string, 0, len(n.children))
@@ -340,8 +340,31 @@ func (s *Service) snapshotNode(e *message.Encoder, n *node) {
 	e.Len(len(names))
 	for _, name := range names {
 		e.VarBytes([]byte(name))
-		s.snapshotNode(e, n.children[name])
+		snapshotNode(e, n.children[name])
 	}
+}
+
+// SnapshotView implements statemachine.SnapshotViewer: the tree is
+// cloned structurally under the lock (pointers and data slices are
+// never mutated in place — SetData replaces the data slice), and the
+// deterministic encode runs later against the clone.
+func (s *Service) SnapshotView() func() []byte {
+	s.mu.Lock()
+	root := cloneNode(s.root)
+	s.mu.Unlock()
+	return func() []byte {
+		e := message.NewEncoder(1024)
+		snapshotNode(e, root)
+		return e.Bytes()
+	}
+}
+
+func cloneNode(n *node) *node {
+	c := &node{data: n.data, version: n.version, children: make(map[string]*node, len(n.children))}
+	for name, child := range n.children {
+		c.children[name] = cloneNode(child)
+	}
+	return c
 }
 
 // Restore implements statemachine.Application.

@@ -47,6 +47,18 @@ func (s *Service) Snapshot() []byte {
 	return out
 }
 
+// SnapshotView implements statemachine.SnapshotViewer.
+func (s *Service) SnapshotView() func() []byte {
+	s.mu.Lock()
+	value := s.value
+	s.mu.Unlock()
+	return func() []byte {
+		out := make([]byte, 8)
+		binary.BigEndian.PutUint64(out, value)
+		return out
+	}
+}
+
 // Restore implements statemachine.Application.
 func (s *Service) Restore(snapshot []byte) error {
 	if len(snapshot) != 8 {

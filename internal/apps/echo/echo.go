@@ -49,6 +49,20 @@ func (s *Service) Snapshot() []byte {
 	}
 }
 
+// SnapshotView implements statemachine.SnapshotViewer: the state is
+// one counter, so the view captures it by value and encodes lazily.
+func (s *Service) SnapshotView() func() []byte {
+	s.mu.Lock()
+	count := s.count
+	s.mu.Unlock()
+	return func() []byte {
+		return []byte{
+			byte(count >> 56), byte(count >> 48), byte(count >> 40), byte(count >> 32),
+			byte(count >> 24), byte(count >> 16), byte(count >> 8), byte(count),
+		}
+	}
+}
+
 // Restore implements statemachine.Application.
 func (s *Service) Restore(snapshot []byte) error {
 	s.mu.Lock()

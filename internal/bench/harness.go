@@ -157,11 +157,19 @@ func RunLoad(c *cluster.Cluster, clients int, warmup, duration time.Duration,
 				default:
 				}
 				op := gen.Next()
+				// Sample the measuring flag at op START: an op issued
+				// during warmup but completing inside the window would
+				// otherwise be recorded with latency accumulated before
+				// measurement began, biasing the first window samples
+				// upward (ops issued inside the window that complete
+				// after it closes are counted — the symmetric
+				// convention for closed-loop load).
+				inWindow := measuring.Load()
 				start := time.Now()
 				if _, err := cl.Invoke(op.Payload, op.ReadOnly); err != nil {
 					return // cluster shutting down or persistent failure
 				}
-				if measuring.Load() {
+				if inWindow {
 					ops.Add(1)
 					rec.Record(time.Since(start))
 				}

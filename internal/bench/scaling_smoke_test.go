@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"hybster/internal/apps/echo"
+	"hybster/internal/enclave"
+	"hybster/internal/statemachine"
+	"hybster/internal/transport"
+	"hybster/internal/workload"
+)
+
+// TestFig5cScalingSmoke runs the Fig. 5c HybsterX point at 1 and 4
+// pillars back to back — the CI smoke for the parallel ordering path.
+// The window is far too short for a trustworthy ratio, so the test
+// only rejects a collapse: the 4-pillar configuration must reach a
+// fraction of single-pillar throughput that any healthy sequencer
+// clears by a wide margin. (A mis-gated batch hold once cost 6×; this
+// floor exists to catch that class of bug, not to measure scaling —
+// results/fig5c.json and scripts/bench-compare.sh do the measuring.)
+func TestFig5cScalingSmoke(t *testing.T) {
+	const (
+		clients  = 48
+		warmup   = 50 * time.Millisecond
+		duration = 300 * time.Millisecond
+	)
+	spec := Specs()[0] // HybsterX
+	tputAt := func(pillars int) float64 {
+		t.Helper()
+		cl, err := BuildCluster(spec, pillars, 16, true, enclave.CostModel{},
+			transport.LinkProfile{}, func() statemachine.Application { return echo.New(0) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Stop()
+		tput, _, err := RunLoad(cl, clients, warmup, duration,
+			func(uint32) workload.Generator { return workload.NewFixed(0) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tput <= 0 {
+			t.Fatalf("pillars=%d: throughput = %f", pillars, tput)
+		}
+		return tput
+	}
+
+	t1 := tputAt(1)
+	t4 := tputAt(4)
+	ratio := t4 / t1
+	t.Logf("fig5c smoke: pillars=1 %.0f ops/s, pillars=4 %.0f ops/s, ratio %.2f", t1, t4, ratio)
+	if ratio < 0.25 {
+		t.Fatalf("4-pillar throughput collapsed to %.2fx of 1-pillar (%.0f vs %.0f ops/s)", ratio, t4, t1)
+	}
+}

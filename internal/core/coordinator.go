@@ -7,6 +7,7 @@ import (
 	"hybster/internal/cop"
 	"hybster/internal/crypto"
 	"hybster/internal/message"
+	"hybster/internal/statemachine"
 	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
@@ -14,9 +15,11 @@ import (
 
 // Events delivered to the coordinator mailbox.
 type (
-	// evCkptCandidate is the execution stage reaching a checkpoint
-	// boundary: the digest to announce plus the state needed to serve
-	// transfers once the checkpoint stabilizes.
+	// evCkptCandidate is the materialized form of a checkpoint boundary:
+	// the digest to announce plus the state needed to serve transfers
+	// once the checkpoint stabilizes. The execution stage does not build
+	// it directly — it posts a lazy *statemachine.CheckpointView and the
+	// coordinator pays the serialization here, off the delivery path.
 	evCkptCandidate struct {
 		order    timeline.Order
 		digest   crypto.Digest
@@ -156,6 +159,8 @@ func (c *coordinator) run() {
 		switch v := ev.(type) {
 		case inMsg:
 			c.handleMessage(v.from, v.msg)
+		case *statemachine.CheckpointView:
+			c.handleCandidateView(v)
 		case evCkptCandidate:
 			c.handleCandidate(v)
 		case evStable:
@@ -184,6 +189,23 @@ func (c *coordinator) handleMessage(from uint32, m message.Message) {
 }
 
 // --- checkpointing ----------------------------------------------------------
+
+// handleCandidateView materializes a checkpoint boundary posted by the
+// execution stage: the application snapshot is encoded and hashed here
+// — on the coordinator loop — so the exec loop never stalls behind a
+// state copy. Boundaries already covered by a stable checkpoint are
+// dropped before paying for the encode.
+func (c *coordinator) handleCandidateView(v *statemachine.CheckpointView) {
+	if v.Order <= c.lastStable.order {
+		return
+	}
+	c.handleCandidate(evCkptCandidate{
+		order:    v.Order,
+		digest:   v.StateDigest(),
+		snapshot: v.Snapshot(),
+		rv:       v.ReplyVector(),
+	})
+}
 
 // handleCandidate stores execution state for a checkpoint boundary and
 // dispatches the checkpoint protocol instance to its round-robin owner

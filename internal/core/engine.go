@@ -30,6 +30,7 @@ import (
 	"hybster/internal/crypto"
 	"hybster/internal/enclave"
 	"hybster/internal/message"
+	"hybster/internal/reply"
 	"hybster/internal/statemachine"
 	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
@@ -93,6 +94,7 @@ type Engine struct {
 	exec    *execLoop
 	coord   *coordinator
 	seq     *sequencer
+	replies *reply.Stage
 	vpool   *verify.Pool
 	vord    *verify.Ordered
 	dur     *durability   // nil without a data dir
@@ -167,6 +169,7 @@ func New(opts Options) (*Engine, error) {
 		e.pillars[u] = newPillar(e, uint32(u), tx)
 	}
 	e.seq = newSequencer(e)
+	e.replies = reply.NewStage(e.id, e.ks, e.ep, 0, opts.Telemetry)
 	e.vpool = verify.NewPool(e.ks, 0, opts.Telemetry)
 	e.vord = verify.NewOrdered(e.vpool)
 	e.registerGauges(opts.Telemetry)
@@ -227,6 +230,8 @@ func (e *Engine) stop(graceful bool) {
 		e.exec.inbox.Close()
 		e.coord.inbox.Close()
 		e.wg.Wait()
+		// The exec loop is done submitting; drain outstanding replies.
+		e.replies.Close()
 		if graceful {
 			e.shutdownDurability()
 		} else {
@@ -317,13 +322,43 @@ type inMsg struct {
 // leader proposes every order number and followers forward requests to
 // it; with rotation every replica proposes the requests it receives,
 // using the order numbers of its rotation slot (§6.2).
+//
+// The admission path is built for many concurrent producers: requests
+// arrive from every verify lane and commit-credits return from every
+// pillar. Per-pillar in-flight accounting is atomic (credits never
+// take the queue lock), the queue lock scopes only the append and the
+// O(1) batch cut, and the dispatch loop is single-flighted through
+// pumpGate so concurrent callers hand off instead of piling up on the
+// mutex re-running the same scan.
 type sequencer struct {
 	e *Engine
 
-	mu       sync.Mutex
-	queue    []*message.Request
-	next     timeline.Order // next order number to propose from our slot
-	inFlight map[uint32]int // proposals awaiting commit, per pillar
+	mu    sync.Mutex
+	queue []*message.Request
+	next  timeline.Order // next order number to propose from our slot
+
+	// inFlight counts proposals awaiting commit, per pillar. Credits
+	// are returned from pillar goroutines without touching mu.
+	inFlight []atomic.Int32
+
+	// pumpGate single-flights the dispatch loop: 0 = idle, 1 = a pump
+	// is running, 2 = a pump is running and must re-scan before exiting
+	// (work arrived while it ran).
+	pumpGate atomic.Int32
+
+	// outReqs counts requests dispatched but not yet returned by a
+	// credit: the closed-loop population currently inside the pipeline.
+	// Together with the queue length it bounds how many requests cycle
+	// through this proposer, which is what decides whether holding a
+	// partial batch can ever fill it.
+	outReqs atomic.Int64
+	// holdArmed marks a partial batch parked behind holdTimer (under mu).
+	holdArmed bool
+	holdTimer *time.Timer
+	// flushNow, set by the timer, makes the next dispatch flush a
+	// partial batch unconditionally; it bounds how long a hold can defer
+	// a request and is what keeps the hold deadlock-free.
+	flushNow atomic.Bool
 }
 
 // maxInFlightPerPillar bounds un-committed own proposals per pillar;
@@ -331,10 +366,40 @@ type sequencer struct {
 // batches grow under load.
 const maxInFlightPerPillar = 4
 
+// batchHold is the longest a partial batch may wait for more requests
+// once its pillar is idle. A pillar that commits quickly (partitioned
+// HybsterX pillars turn an instance around in well under a millisecond)
+// would otherwise flush tiny batches on every credit and burn the
+// saved time on per-instance protocol work.
+const batchHold = 2 * time.Millisecond
+
+// holdWorthwhile gates the partial-batch hold on closed-loop pressure:
+// park a partial batch only when the requests queued plus those still
+// inside the pipeline could fill it — fewer cycling clients than a
+// batch means the hold would pay its latency without ever producing a
+// full batch. Light traffic always dispatches immediately, so an idle
+// system keeps single-request latency at one protocol round and a lone
+// client never waits on the timer.
+func (s *sequencer) holdWorthwhile(n int) bool {
+	return n+int(s.outReqs.Load()) >= s.e.cfg.BatchSize
+}
+
 func newSequencer(e *Engine) *sequencer {
-	s := &sequencer{e: e, inFlight: make(map[uint32]int)}
+	s := &sequencer{e: e, inFlight: make([]atomic.Int32, e.cfg.Pillars)}
 	s.next = s.firstSlot(0, 0)
+	s.holdTimer = time.AfterFunc(batchHold, s.flushHeld)
+	s.holdTimer.Stop()
 	return s
+}
+
+// flushHeld is the hold timer's callback: release the parked partial
+// batch on the next dispatch.
+func (s *sequencer) flushHeld() {
+	s.mu.Lock()
+	s.holdArmed = false
+	s.mu.Unlock()
+	s.flushNow.Store(true)
+	s.pump()
 }
 
 // firstSlot returns the smallest order > after that this replica
@@ -383,8 +448,33 @@ func (s *sequencer) admitVerified(r *message.Request) {
 	s.pump()
 }
 
-// pump proposes as many batches as in-flight credits allow.
+// pump schedules the dispatch loop, single-flighted: whichever caller
+// wins the gate scans the queue; losers just mark it dirty and return.
+// Verify-lane callbacks and pillar credits therefore never queue up on
+// the mutex behind a dispatch already in progress.
 func (s *sequencer) pump() {
+	for {
+		if s.pumpGate.CompareAndSwap(0, 1) {
+			for {
+				s.dispatch()
+				if s.pumpGate.CompareAndSwap(1, 0) {
+					return
+				}
+				// Marked dirty while we dispatched: clear and re-scan.
+				s.pumpGate.Store(1)
+			}
+		}
+		if s.pumpGate.CompareAndSwap(1, 2) || s.pumpGate.Load() == 2 {
+			return // the running pump will re-scan
+		}
+		// The pump exited between our checks; try to take the gate.
+	}
+}
+
+// dispatch proposes as many batches as in-flight credits allow. The
+// queue lock scopes only the batch cut — an O(1) reslice — and is
+// never held across the pillar hand-off.
+func (s *sequencer) dispatch() {
 	v := s.e.View()
 	if !s.e.cfg.RotateLeader && s.e.cfg.LeaderOf(v) != s.e.id {
 		// Not a proposer in this view (e.g. demoted by a view change):
@@ -400,25 +490,56 @@ func (s *sequencer) pump() {
 	}
 	for {
 		s.mu.Lock()
-		if len(s.queue) == 0 {
+		n := len(s.queue)
+		if n == 0 {
 			s.mu.Unlock()
 			return
 		}
 		o := s.next
 		u := s.e.cfg.PillarOf(o) % uint32(len(s.e.pillars))
-		if s.inFlight[u] >= maxInFlightPerPillar {
+		busy := int(s.inFlight[u].Load())
+		if busy >= maxInFlightPerPillar {
 			s.mu.Unlock()
 			return
 		}
-		n := len(s.queue)
-		if n > s.e.cfg.BatchSize {
-			n = s.e.cfg.BatchSize
+		if n < s.e.cfg.BatchSize && !s.flushNow.Load() &&
+			(busy > 0 || s.holdWorthwhile(n)) {
+			// Hold the partial batch so it fills instead of fragmenting:
+			// either the target pillar already has an instance in flight
+			// (its credit usually flushes us well before the timer), or
+			// the pillar is idle but enough requests cycle through this
+			// proposer to fill a batch. Liveness never depends on the
+			// credit returning — under faults an in-flight instance can
+			// stall indefinitely (quorum loss, lost prepare), so the
+			// timer's unconditional flush is armed on BOTH branches and
+			// bounds the wait at batchHold.
+			if !s.holdArmed {
+				s.holdArmed = true
+				s.holdTimer.Reset(batchHold)
+			}
+			s.mu.Unlock()
+			return
 		}
-		batch := make([]*message.Request, n)
-		copy(batch, s.queue[:n])
-		s.queue = append(s.queue[:0], s.queue[n:]...)
+		s.flushNow.Store(false)
+		var batch []*message.Request
+		if n <= s.e.cfg.BatchSize {
+			batch = s.queue
+			s.queue = nil
+		} else {
+			n = s.e.cfg.BatchSize
+			// Cut with a capped reslice: the batch keeps the head of the
+			// backing array, the queue continues on the tail, and later
+			// appends cannot reach into the batch.
+			batch = s.queue[:n:n]
+			s.queue = s.queue[n:]
+		}
 		s.next = s.nextSlot(v, o)
-		s.inFlight[u]++
+		s.inFlight[u].Add(1)
+		s.outReqs.Add(int64(len(batch)))
+		if s.holdArmed {
+			s.holdArmed = false
+			s.holdTimer.Stop()
+		}
 		s.mu.Unlock()
 
 		s.e.pillars[u].inbox.Put(evPropose{view: v, order: o, batch: batch})
@@ -437,13 +558,33 @@ func (s *sequencer) nextSlot(v timeline.View, o timeline.Order) timeline.Order {
 	return n
 }
 
-// credit returns an in-flight slot for pillar u and pumps the queue.
-func (s *sequencer) credit(u uint32) {
-	s.mu.Lock()
-	if s.inFlight[u] > 0 {
-		s.inFlight[u]--
+// credit returns an in-flight slot for pillar u, subtracts the
+// instance's reqs from the outstanding population, and pumps the queue.
+// It is lock-free: pillar goroutines returning commit-credits never
+// contend with admission on the queue mutex. Both decrements clamp at
+// zero — after a view reset, credits for dropped proposals may arrive
+// late and must not underflow.
+func (s *sequencer) credit(u uint32, reqs int) {
+	c := &s.inFlight[u]
+	for {
+		v := c.Load()
+		if v <= 0 {
+			break
+		}
+		if c.CompareAndSwap(v, v-1) {
+			break
+		}
 	}
-	s.mu.Unlock()
+	for {
+		v := s.outReqs.Load()
+		nv := v - int64(reqs)
+		if nv < 0 {
+			nv = 0
+		}
+		if v <= 0 || s.outReqs.CompareAndSwap(v, nv) {
+			break
+		}
+	}
 	s.pump()
 }
 
@@ -470,11 +611,16 @@ func (s *sequencer) proposeNoop(v timeline.View, o timeline.Order) {
 }
 
 // resetForView realigns the proposal cursor after a view change: the
-// replica's first slot after the re-proposed range.
+// replica's first slot after the re-proposed range. In-flight
+// accounting restarts at zero; stragglers crediting dropped proposals
+// are absorbed by credit's clamp.
 func (s *sequencer) resetForView(v timeline.View, after timeline.Order) {
 	s.mu.Lock()
 	s.next = s.firstSlot(v, after)
-	s.inFlight = make(map[uint32]int)
+	for i := range s.inFlight {
+		s.inFlight[i].Store(0)
+	}
+	s.outReqs.Store(0)
 	s.mu.Unlock()
 	s.pump()
 }

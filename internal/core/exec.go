@@ -17,6 +17,13 @@ type (
 	evExec struct {
 		order timeline.Order
 		batch []*message.Request
+		// credit is the pillar whose flow-control slot this instance
+		// holds (-1 for foreign proposals). The slot is returned when
+		// execution dequeues the instance, not when it commits: dispatch
+		// is thereby paced by the shared execution stage — the real
+		// bottleneck — so fast-committing partitioned pillars accumulate
+		// full batches instead of flushing on every quick commit.
+		credit int32
 	}
 	// evInstallState applies a verified state transfer.
 	evInstallState struct {
@@ -63,6 +70,9 @@ func (l *execLoop) run() {
 		}
 		switch v := ev.(type) {
 		case evExec:
+			if v.credit >= 0 {
+				l.e.seq.credit(uint32(v.credit), len(v.batch))
+			}
 			if l.x.Buffer(v.order, v.batch) {
 				l.drain()
 			}
@@ -93,12 +103,11 @@ func (l *execLoop) drain() {
 		l.e.trace(telemetry.EvExec, 0, uint64(ex.Order), 0, "")
 		l.reply(ex)
 		if l.e.cfg.IsCheckpoint(ex.Order) {
-			l.e.coord.inbox.Put(evCkptCandidate{
-				order:    ex.Order,
-				digest:   l.x.StateDigest(),
-				snapshot: l.x.Snapshot(),
-				rv:       l.x.ReplyVector(),
-			})
+			// Hand the coordinator a lazy view of the boundary instead of
+			// serializing the application here: the snapshot encode and
+			// digest hashes run on the coordinator loop, so delivery of
+			// the next instance is never stalled behind a state copy.
+			l.e.coord.inbox.Put(l.x.CheckpointView())
 		}
 	}
 	if progressed {
@@ -106,14 +115,22 @@ func (l *execLoop) drain() {
 	}
 }
 
-// reply answers every client served by the delivered instance; replies
-// are authenticated under the replica-client pair key.
+// reply hands every client served by the delivered instance to the
+// parallel reply stage; MAC computation and the sends happen there,
+// off the execution loop (reply authentication is independent per
+// client and needs no ordering beyond the per-client FIFO the stage
+// guarantees).
 func (l *execLoop) reply(ex *statemachine.Executed) {
+	// A single-reply instance (unbatched request) goes inline when the
+	// shard is quiet: at light load the worker wakeup would dominate
+	// the reply latency.
+	if len(ex.Replies) == 1 {
+		r := ex.Replies[0]
+		l.e.replies.SubmitInline(r.Client, r.Seq, r.Result)
+		return
+	}
 	for _, r := range ex.Replies {
-		rep := &message.Reply{Replica: l.e.id, Client: r.Client, Seq: r.Seq, Result: r.Result}
-		d := rep.Digest()
-		rep.MAC = l.e.ks.KeyFor(r.Client).Sum(d[:])
-		_ = l.e.ep.Send(r.Client, rep)
+		l.e.replies.Submit(r.Client, r.Seq, r.Result)
 	}
 }
 

@@ -85,6 +85,21 @@ func (e *Engine) registerGauges(tel *telemetry.Telemetry) {
 		func() float64 { return float64(e.exec.inbox.Len()) })
 	tel.GaugeFunc("hybster_core_coord_mailbox_depth", "queued coordinator events",
 		func() float64 { return float64(e.coord.inbox.Len()) })
+	for u := range e.seq.inFlight {
+		u := u
+		tel.GaugeFunc("hybster_core_seq_inflight", "proposals awaiting commit credit",
+			func() float64 { return float64(e.seq.inFlight[u].Load()) },
+			telemetry.L("pillar", fmt.Sprint(u)))
+	}
+	tel.GaugeFunc("hybster_core_seq_outreqs", "requests dispatched but not yet credited back",
+		func() float64 { return float64(e.seq.outReqs.Load()) })
+	tel.GaugeFunc("hybster_core_seq_queue_depth", "admitted requests awaiting a batch cut",
+		func() float64 {
+			e.seq.mu.Lock()
+			n := len(e.seq.queue)
+			e.seq.mu.Unlock()
+			return float64(n)
+		})
 	registerMarshalGauges(tel)
 }
 

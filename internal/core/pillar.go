@@ -236,11 +236,11 @@ func (p *pillar) handlePropose(ev evPropose) {
 		// Stale proposal from before a view change; requests are
 		// re-proposed by the sequencer after the new view installs,
 		// so return the flow-control credit and drop.
-		p.e.seq.credit(p.idx)
+		p.e.seq.credit(p.idx, len(ev.batch))
 		return
 	}
 	if ev.order < p.cursor || !p.win.InWindow(ev.order) {
-		p.e.seq.credit(p.idx)
+		p.e.seq.credit(p.idx, len(ev.batch))
 		return
 	}
 	p.pendingProps[ev.order] = ev
@@ -276,7 +276,7 @@ func (p *pillar) sendPrepare(ev evPropose) {
 	prep := &message.Prepare{View: ev.view, Order: ev.order, Requests: ev.batch}
 	cert, err := p.tx.CreateIndependent(counterO, uint64(timeline.Pack(ev.view, ev.order)), prep.Digest())
 	if err != nil {
-		p.e.seq.credit(p.idx)
+		p.e.seq.credit(p.idx, len(ev.batch))
 		return // counter already beyond this instance (view changed)
 	}
 	prep.Cert = cert
@@ -321,10 +321,11 @@ func (p *pillar) maybeDeliver(s *slot) {
 	p.met.committed.Inc()
 	p.e.traceD(telemetry.EvDeliver, uint64(s.Prepare.View), uint64(s.Order), p.idx, s.BatchDigest[:], "")
 	p.e.logDecision(s.Prepare.View, s.Order, s.Prepare.Requests)
-	p.e.exec.inbox.Put(evExec{order: s.Order, batch: s.Prepare.Requests})
+	credit := int32(-1)
 	if s.Prepare.Cert.Issuer.Replica() == p.e.id {
-		p.e.seq.credit(p.idx)
+		credit = int32(p.idx)
 	}
+	p.e.exec.inbox.Put(evExec{order: s.Order, batch: s.Prepare.Requests, credit: credit})
 }
 
 // handleCkptDue runs this pillar's checkpoint protocol instance
@@ -377,9 +378,9 @@ func (p *pillar) advance(o timeline.Order) {
 			delete(p.ownCkpt, k)
 		}
 	}
-	for k := range p.pendingProps {
+	for k, ev := range p.pendingProps {
 		if k <= o {
-			p.e.seq.credit(p.idx)
+			p.e.seq.credit(p.idx, len(ev.batch))
 			delete(p.pendingProps, k)
 		}
 	}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -73,15 +74,28 @@ type CostModel struct {
 // the caller opts in via WithBridge).
 var DefaultCostModel = CostModel{Transition: 2400 * time.Nanosecond, Bridge: 300 * time.Nanosecond}
 
-// spin burns CPU for approximately d without yielding the processor,
-// imitating the synchronous, non-blocking nature of an SGX transition.
-// Sleeping would free the core and distort throughput measurements.
+// spin occupies the calling goroutine for approximately d, imitating
+// the synchronous, non-blocking nature of an SGX transition: the call
+// never returns early and never parks on a timer (sleeping would free
+// the core for the full duration and flatten the cost into noise).
+//
+// The loop cooperatively yields between time checks. On a host with at
+// least as many cores as concurrently transitioning enclaves the yield
+// is a no-op (nothing else is runnable on this P) and the behaviour is
+// the classic core-burning busy-wait. On a host with fewer physical
+// cores than the deployment simulates — a laptop running a 4-pillar ×
+// 4-replica cluster in one process — a hard busy-wait would serialize
+// transitions that real SGX hardware runs on separate cores, inverting
+// the comparative shapes the benchmarks exist to reproduce; yielding
+// lets another pillar's transition (or real work) interleave during
+// the window, which is exactly what distinct cores would do.
 func spin(d time.Duration) {
 	if d <= 0 {
 		return
 	}
 	deadline := time.Now().Add(d)
 	for time.Now().Before(deadline) {
+		runtime.Gosched()
 	}
 }
 

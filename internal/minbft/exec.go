@@ -4,7 +4,6 @@ import (
 	"sync/atomic"
 
 	"hybster/internal/cop"
-	"hybster/internal/crypto"
 	"hybster/internal/message"
 	"hybster/internal/statemachine"
 	"hybster/internal/telemetry"
@@ -79,27 +78,24 @@ func (l *execLoop) run() {
 			l.e.met.execBatches.Inc()
 			l.e.met.execRequests.Add(uint64(len(ex.Replies)))
 			l.e.trace(telemetry.EvExec, 0, uint64(ex.Order), "")
-			for _, r := range ex.Replies {
-				rep := &message.Reply{Replica: l.e.id, Client: r.Client, Seq: r.Seq, Result: r.Result}
-				d := rep.Digest()
-				rep.MAC = l.e.ks.KeyFor(r.Client).Sum(d[:])
-				_ = l.e.ep.Send(r.Client, rep)
+			// Reply MACs and sends run on the parallel reply stage,
+			// off the delivery loop; single-reply instances go inline
+			// when the shard is quiet (see internal/core).
+			if len(ex.Replies) == 1 {
+				r := ex.Replies[0]
+				l.e.replies.SubmitInline(r.Client, r.Seq, r.Result)
+			} else {
+				for _, r := range ex.Replies {
+					l.e.replies.Submit(r.Client, r.Seq, r.Result)
+				}
 			}
 			l.e.inbox.Put(evProgress{pending: l.x.Pending() > 0})
 			if l.e.cfg.IsCheckpoint(ex.Order) {
-				// Checkpoints run on the protocol loop; hand the
-				// digest over through the inbox so USIG and window
-				// state stay single-threaded. The snapshot and reply
-				// vector ride along so the protocol loop can serve
-				// state transfers for this boundary later.
-				snap := l.x.Snapshot()
-				rv := l.x.ReplyVector()
-				l.e.inbox.Put(evCkptDue{
-					order:    ex.Order,
-					digest:   crypto.Combine(crypto.Hash(snap), crypto.Hash(rv)),
-					snapshot: snap,
-					rv:       rv,
-				})
+				// Checkpoints run on the protocol loop; hand a lazy
+				// view over through the inbox so USIG and window
+				// state stay single-threaded and the snapshot encode
+				// is paid there, not here.
+				l.e.inbox.Put(evCkptDue{view: l.x.CheckpointView()})
 			}
 		}
 	}

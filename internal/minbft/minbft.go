@@ -31,6 +31,7 @@ import (
 	"hybster/internal/crypto"
 	"hybster/internal/enclave"
 	"hybster/internal/message"
+	"hybster/internal/reply"
 	"hybster/internal/statemachine"
 	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
@@ -76,10 +77,11 @@ type Engine struct {
 	sig     *usig.USIG
 	sigCkpt *usig.USIG
 
-	inbox *cop.Mailbox[any]
-	exec  *execLoop
-	vpool *verify.Pool
-	vord  *verify.Ordered
+	inbox   *cop.Mailbox[any]
+	exec    *execLoop
+	replies *reply.Stage
+	vpool   *verify.Pool
+	vord    *verify.Ordered
 
 	// protocol state, confined to the run goroutine
 	view timeline.View
@@ -255,6 +257,7 @@ func New(opts Options) (*Engine, error) {
 		deaf:           make(map[uint32]bool),
 	}
 	e.exec = newExecLoop(e, opts.Application)
+	e.replies = reply.NewStage(e.id, e.ks, e.ep, 0, opts.Telemetry)
 	e.vpool = verify.NewPool(e.ks, 0, opts.Telemetry)
 	e.vord = verify.NewOrdered(e.vpool)
 	for r := uint32(0); int(r) < opts.Config.N; r++ {
@@ -368,6 +371,8 @@ func (e *Engine) Stop() {
 		e.inbox.Close()
 		e.exec.inbox.Close()
 		e.wg.Wait()
+		// The exec loop is done submitting; drain outstanding replies.
+		e.replies.Close()
 		e.sig.Destroy()
 		e.sigCkpt.Destroy()
 	})
@@ -431,13 +436,11 @@ func (e *Engine) handleEvent(ev any) {
 }
 
 // evCkptDue carries a checkpoint boundary from the execution loop to
-// the protocol loop (all USIG and window state is confined there),
-// including the snapshot bundle backing later state transfers.
+// the protocol loop (all USIG and window state is confined there). It
+// holds a lazy view: the snapshot encode and digest hashes run on the
+// protocol loop, not the delivery loop.
 type evCkptDue struct {
-	order    timeline.Order
-	digest   crypto.Digest
-	snapshot []byte
-	rv       []byte
+	view *statemachine.CheckpointView
 }
 
 // ckptBundle is the serialized service state at one checkpoint
@@ -866,8 +869,8 @@ func (e *Engine) refresh(s *slot) {
 // instance and are embedded in the shared Checkpoint message's
 // certificate fields (issuer/value/MAC).
 func (e *Engine) checkpointDue(ev evCkptDue) {
-	o, digest := ev.order, ev.digest
-	e.ownCkpt = ckptBundle{order: o, snapshot: ev.snapshot, rv: ev.rv}
+	o, digest := ev.view.Order, ev.view.StateDigest()
+	e.ownCkpt = ckptBundle{order: o, snapshot: ev.view.Snapshot(), rv: ev.view.ReplyVector()}
 	if o == e.low {
 		// This boundary already stabilized (we executed it late);
 		// promote the bundle so we can serve transfers for it.

@@ -7,6 +7,7 @@ import (
 	"hybster/internal/cop"
 	"hybster/internal/crypto"
 	"hybster/internal/message"
+	"hybster/internal/statemachine"
 	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
 	"hybster/internal/transport"
@@ -94,6 +95,8 @@ func (c *coordinator) run() {
 		switch v := ev.(type) {
 		case inMsg:
 			c.handleMessage(v.from, v.msg)
+		case *statemachine.CheckpointView:
+			c.handleCandidateView(v)
 		case evCkptCandidate:
 			c.handleCandidate(v)
 		case evStable:
@@ -120,6 +123,21 @@ func (c *coordinator) handleMessage(from uint32, m message.Message) {
 }
 
 // --- checkpoints ---
+
+// handleCandidateView materializes a checkpoint boundary posted by the
+// execution stage — snapshot encode and digest hashes run here, off
+// the delivery path.
+func (c *coordinator) handleCandidateView(v *statemachine.CheckpointView) {
+	if v.Order <= c.lastStable.order {
+		return
+	}
+	c.handleCandidate(evCkptCandidate{
+		order:    v.Order,
+		digest:   v.StateDigest(),
+		snapshot: v.Snapshot(),
+		rv:       v.ReplyVector(),
+	})
+}
 
 func (c *coordinator) handleCandidate(ev evCkptCandidate) {
 	if ev.order <= c.lastStable.order {

@@ -23,6 +23,7 @@ import (
 	"hybster/internal/crypto"
 	"hybster/internal/enclave"
 	"hybster/internal/message"
+	"hybster/internal/reply"
 	"hybster/internal/statemachine"
 	"hybster/internal/telemetry"
 	"hybster/internal/timeline"
@@ -64,6 +65,7 @@ type Engine struct {
 	exec    *execLoop
 	coord   *coordinator
 	seq     *sequencer
+	replies *reply.Stage
 	vpool   *verify.Pool
 	vord    *verify.Ordered
 	met     engineMetrics
@@ -113,6 +115,7 @@ func New(opts Options) (*Engine, error) {
 		e.pillars[u] = newPillar(e, uint32(u), tx)
 	}
 	e.seq = newSequencer(e)
+	e.replies = reply.NewStage(e.id, e.ks, e.ep, 0, opts.Telemetry)
 	e.vpool = verify.NewPool(e.ks, 0, opts.Telemetry)
 	e.vord = verify.NewOrdered(e.vpool)
 	e.registerGauges(opts.Telemetry)
@@ -152,6 +155,8 @@ func (e *Engine) Stop() {
 		e.exec.inbox.Close()
 		e.coord.inbox.Close()
 		e.wg.Wait()
+		// The exec loop is done submitting; drain outstanding replies.
+		e.replies.Close()
 		for _, p := range e.pillars {
 			if p.tx != nil {
 				p.tx.Destroy()
@@ -260,18 +265,53 @@ func (e *Engine) verify(tx *trinx.TrInX, p *message.Proof, d crypto.Digest, clai
 type sequencer struct {
 	e *Engine
 
-	mu       sync.Mutex
-	queue    []*message.Request
-	next     timeline.Order
-	inFlight map[uint32]int
+	mu    sync.Mutex
+	queue []*message.Request
+	next  timeline.Order
+
+	// inFlight counts proposals awaiting commit, per pillar; credits
+	// decrement atomically, never taking mu.
+	inFlight []atomic.Int32
+
+	// pumpGate single-flights dispatch: 0 idle, 1 pumping, 2 pumping
+	// with a re-scan owed.
+	pumpGate atomic.Int32
+
+	// Partial-batch hold under saturated load; see the core sequencer
+	// for the scheme (outReqs is the dispatched-but-uncredited request
+	// population, flushNow is the timer's liveness escape).
+	outReqs   atomic.Int64
+	holdArmed bool
+	holdTimer *time.Timer
+	flushNow  atomic.Bool
 }
 
-const maxInFlightPerPillar = 4
+const (
+	maxInFlightPerPillar = 4
+	batchHold            = 2 * time.Millisecond
+)
+
+// holdWorthwhile mirrors the core sequencer's load gate: hold a
+// partial batch only when the queued plus in-pipeline requests could
+// fill it.
+func (s *sequencer) holdWorthwhile(n int) bool {
+	return n+int(s.outReqs.Load()) >= s.e.cfg.BatchSize
+}
 
 func newSequencer(e *Engine) *sequencer {
-	s := &sequencer{e: e, inFlight: make(map[uint32]int)}
+	s := &sequencer{e: e, inFlight: make([]atomic.Int32, e.cfg.Pillars)}
 	s.next = s.firstSlot(0, 0)
+	s.holdTimer = time.AfterFunc(batchHold, s.flushHeld)
+	s.holdTimer.Stop()
 	return s
+}
+
+func (s *sequencer) flushHeld() {
+	s.mu.Lock()
+	s.holdArmed = false
+	s.mu.Unlock()
+	s.flushNow.Store(true)
+	s.pump()
 }
 
 func (s *sequencer) firstSlot(v timeline.View, after timeline.Order) timeline.Order {
@@ -318,7 +358,26 @@ func (s *sequencer) admitVerified(r *message.Request) {
 	s.pump()
 }
 
+// pump single-flights the dispatch loop through pumpGate; see the
+// core sequencer for the scheme's rationale.
 func (s *sequencer) pump() {
+	for {
+		if s.pumpGate.CompareAndSwap(0, 1) {
+			for {
+				s.dispatch()
+				if s.pumpGate.CompareAndSwap(1, 0) {
+					return
+				}
+				s.pumpGate.Store(1)
+			}
+		}
+		if s.pumpGate.CompareAndSwap(1, 2) || s.pumpGate.Load() == 2 {
+			return
+		}
+	}
+}
+
+func (s *sequencer) dispatch() {
 	v := s.e.View()
 	if !s.e.cfg.RotateLeader && s.e.cfg.LeaderOf(v) != s.e.id {
 		s.mu.Lock()
@@ -332,37 +391,79 @@ func (s *sequencer) pump() {
 	}
 	for {
 		s.mu.Lock()
-		if len(s.queue) == 0 {
+		n := len(s.queue)
+		if n == 0 {
 			s.mu.Unlock()
 			return
 		}
 		o := s.next
 		u := s.e.cfg.PillarOf(o) % uint32(len(s.e.pillars))
-		if s.inFlight[u] >= maxInFlightPerPillar {
+		busy := int(s.inFlight[u].Load())
+		if busy >= maxInFlightPerPillar {
 			s.mu.Unlock()
 			return
 		}
-		n := len(s.queue)
-		if n > s.e.cfg.BatchSize {
-			n = s.e.cfg.BatchSize
+		if n < s.e.cfg.BatchSize && !s.flushNow.Load() &&
+			(busy > 0 || s.holdWorthwhile(n)) {
+			// Hold the partial batch so it fills instead of fragmenting
+			// (same policy as core's sequencer). The timer is armed on
+			// both the busy and the idle branch: liveness must never
+			// depend on an in-flight instance's credit returning, since
+			// under faults that instance can stall indefinitely.
+			if !s.holdArmed {
+				s.holdArmed = true
+				s.holdTimer.Reset(batchHold)
+			}
+			s.mu.Unlock()
+			return
 		}
-		batch := make([]*message.Request, n)
-		copy(batch, s.queue[:n])
-		s.queue = append(s.queue[:0], s.queue[n:]...)
+		s.flushNow.Store(false)
+		var batch []*message.Request
+		if n <= s.e.cfg.BatchSize {
+			batch = s.queue
+			s.queue = nil
+		} else {
+			n = s.e.cfg.BatchSize
+			batch = s.queue[:n:n]
+			s.queue = s.queue[n:]
+		}
 		s.next = s.nextSlot(v, o)
-		s.inFlight[u]++
+		s.inFlight[u].Add(1)
+		s.outReqs.Add(int64(len(batch)))
+		if s.holdArmed {
+			s.holdArmed = false
+			s.holdTimer.Stop()
+		}
 		s.mu.Unlock()
 
 		s.e.pillars[u].inbox.Put(evPropose{view: v, order: o, batch: batch})
 	}
 }
 
-func (s *sequencer) credit(u uint32) {
-	s.mu.Lock()
-	if s.inFlight[u] > 0 {
-		s.inFlight[u]--
+// credit returns an in-flight slot for pillar u and subtracts the
+// instance's reqs from the outstanding population, both clamped at
+// zero; it never takes the queue mutex.
+func (s *sequencer) credit(u uint32, reqs int) {
+	c := &s.inFlight[u]
+	for {
+		v := c.Load()
+		if v <= 0 {
+			break
+		}
+		if c.CompareAndSwap(v, v-1) {
+			break
+		}
 	}
-	s.mu.Unlock()
+	for {
+		v := s.outReqs.Load()
+		nv := v - int64(reqs)
+		if nv < 0 {
+			nv = 0
+		}
+		if v <= 0 || s.outReqs.CompareAndSwap(v, nv) {
+			break
+		}
+	}
 	s.pump()
 }
 
@@ -386,7 +487,10 @@ func (s *sequencer) proposeNoop(v timeline.View, o timeline.Order) {
 func (s *sequencer) resetForView(v timeline.View, after timeline.Order) {
 	s.mu.Lock()
 	s.next = s.firstSlot(v, after)
-	s.inFlight = make(map[uint32]int)
+	for i := range s.inFlight {
+		s.inFlight[i].Store(0)
+	}
+	s.outReqs.Store(0)
 	s.mu.Unlock()
 	s.pump()
 }

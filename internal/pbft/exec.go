@@ -16,6 +16,10 @@ type (
 	evExec struct {
 		order timeline.Order
 		batch []*message.Request
+		// credit is the pillar owed a flow-control slot once execution
+		// dequeues this instance (-1 for foreign proposals); see
+		// internal/core for why crediting here beats crediting at commit.
+		credit int32
 	}
 	evInstallState struct {
 		ckpt     timeline.Order
@@ -50,6 +54,9 @@ func (l *execLoop) run() {
 		}
 		switch v := ev.(type) {
 		case evExec:
+			if v.credit >= 0 {
+				l.e.seq.credit(uint32(v.credit), len(v.batch))
+			}
 			if l.x.Buffer(v.order, v.batch) {
 				l.drain()
 			}
@@ -78,12 +85,9 @@ func (l *execLoop) drain() {
 		l.e.trace(telemetry.EvExec, 0, uint64(ex.Order), 0, "")
 		l.reply(ex)
 		if l.e.cfg.IsCheckpoint(ex.Order) {
-			l.e.coord.inbox.Put(evCkptCandidate{
-				order:    ex.Order,
-				digest:   l.x.StateDigest(),
-				snapshot: l.x.Snapshot(),
-				rv:       l.x.ReplyVector(),
-			})
+			// Lazy view: the coordinator pays for the snapshot encode
+			// and digests, not the delivery loop (see internal/core).
+			l.e.coord.inbox.Put(l.x.CheckpointView())
 		}
 	}
 	if progressed {
@@ -91,12 +95,18 @@ func (l *execLoop) drain() {
 	}
 }
 
+// reply hands executed replies to the parallel reply stage; MACs and
+// sends happen there, off the execution loop.
 func (l *execLoop) reply(ex *statemachine.Executed) {
+	// Single-reply instances go inline when the shard is quiet; see
+	// internal/core.
+	if len(ex.Replies) == 1 {
+		r := ex.Replies[0]
+		l.e.replies.SubmitInline(r.Client, r.Seq, r.Result)
+		return
+	}
 	for _, r := range ex.Replies {
-		rep := &message.Reply{Replica: l.e.id, Client: r.Client, Seq: r.Seq, Result: r.Result}
-		d := rep.Digest()
-		rep.MAC = l.e.ks.KeyFor(r.Client).Sum(d[:])
-		_ = l.e.ep.Send(r.Client, rep)
+		l.e.replies.Submit(r.Client, r.Seq, r.Result)
 	}
 }
 

@@ -79,6 +79,21 @@ func (e *Engine) registerGauges(tel *telemetry.Telemetry) {
 			func() float64 { return float64(p.inbox.Len()) },
 			telemetry.L("pillar", fmt.Sprint(p.idx)))
 	}
+	for u := range e.seq.inFlight {
+		u := u
+		tel.GaugeFunc("hybster_pbft_seq_inflight", "proposals awaiting commit credit",
+			func() float64 { return float64(e.seq.inFlight[u].Load()) },
+			telemetry.L("pillar", fmt.Sprint(u)))
+	}
+	tel.GaugeFunc("hybster_pbft_seq_outreqs", "requests dispatched but not yet credited back",
+		func() float64 { return float64(e.seq.outReqs.Load()) })
+	tel.GaugeFunc("hybster_pbft_seq_queue_depth", "admitted requests awaiting a batch cut",
+		func() float64 {
+			e.seq.mu.Lock()
+			n := len(e.seq.queue)
+			e.seq.mu.Unlock()
+			return float64(n)
+		})
 	// Codec marshal-pool stats; process-global (the encoder pool is
 	// shared by every engine in the process).
 	tel.GaugeFunc("hybster_marshal_total", "messages marshaled (process-wide)",

@@ -173,19 +173,19 @@ func (p *pillar) handleMessage(in inMsg) {
 // PRE-PREPARE.
 func (p *pillar) handlePropose(ev evPropose) {
 	if ev.view != p.view || p.aborted || !p.inWindow(ev.order) {
-		p.e.seq.credit(p.idx)
+		p.e.seq.credit(p.idx, len(ev.batch))
 		return
 	}
 	pp := &message.PrePrepare{View: ev.view, Order: ev.order, Requests: ev.batch}
 	proof, err := p.e.sign(p.tx, pp.Digest())
 	if err != nil {
-		p.e.seq.credit(p.idx)
+		p.e.seq.credit(p.idx, len(ev.batch))
 		return
 	}
 	pp.Proof = proof
 	s := p.slot(ev.order, ev.view)
 	if s == nil || s.prePrepare != nil {
-		p.e.seq.credit(p.idx)
+		p.e.seq.credit(p.idx, len(ev.batch))
 		return
 	}
 	s.prePrepare = pp
@@ -326,10 +326,11 @@ func (p *pillar) progress(s *pslot) {
 		s.executed = true
 		p.met.committed.Inc()
 		p.e.traceD(telemetry.EvDeliver, uint64(s.view), uint64(s.order), p.idx, s.batchDigest[:], "")
-		p.e.exec.inbox.Put(evExec{order: s.order, batch: s.prePrepare.Requests})
+		credit := int32(-1)
 		if p.e.cfg.ProposerOf(s.view, s.order) == p.e.id {
-			p.e.seq.credit(p.idx)
+			credit = int32(p.idx)
 		}
+		p.e.exec.inbox.Put(evExec{order: s.order, batch: s.prePrepare.Requests, credit: credit})
 	}
 }
 

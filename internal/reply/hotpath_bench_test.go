@@ -1,0 +1,73 @@
+package reply
+
+import (
+	"testing"
+
+	"hybster/internal/apps/echo"
+	"hybster/internal/crypto"
+	"hybster/internal/message"
+	"hybster/internal/statemachine"
+	"hybster/internal/timeline"
+)
+
+// Hot-path microbenchmarks for the execute→reply tail of the pipeline:
+// what one committed batch costs from executor delivery through reply
+// authentication. BenchmarkHotPath* results are the before/after
+// evidence for hot-path optimization work (see BENCH_hotpath.txt).
+
+// nullSender swallows replies; the bench measures MAC + dispatch cost,
+// not the transport.
+type nullSender struct{}
+
+func (nullSender) Send(uint32, message.Message) error { return nil }
+
+// BenchmarkHotPathReplyPath measures the full reply stage: submit,
+// shard handoff, MAC under the pairwise client key, send. One op is
+// one reply end to end (Close at the end waits out the drain, so the
+// timed region covers the worker-side work too).
+func BenchmarkHotPathReplyPath(b *testing.B) {
+	ks := crypto.NewKeyStore(0, crypto.NewKeyFromSeed("bench"))
+	result := make([]byte, 32)
+	st := NewStage(0, ks, nullSender{}, 2, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Submit(crypto.ClientIDBase+uint32(i%16), uint64(i/16+1), result)
+	}
+	st.Close()
+}
+
+// BenchmarkHotPathExecDrain measures the exec-stage drain for one
+// committed batch: buffer, in-order delivery through the application,
+// reply-cache update, and handoff of every reply to the reply stage.
+// One op is one 16-request batch.
+func BenchmarkHotPathExecDrain(b *testing.B) {
+	const batchSize = 16
+	x := statemachine.NewExecutor(echo.New(32))
+	st := NewStage(0, crypto.NewKeyStore(0, crypto.NewKeyFromSeed("bench")), nullSender{}, 2, nil)
+	batch := make([]*message.Request, batchSize)
+	for j := range batch {
+		batch[j] = &message.Request{
+			Client:  crypto.ClientIDBase + uint32(j),
+			Payload: []byte("payload-0000"),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			batch[j].Seq = uint64(i + 1)
+		}
+		if !x.Buffer(timeline.Order(i+1), batch) {
+			b.Fatal("buffer rejected in-order batch")
+		}
+		ex := x.Step()
+		if ex == nil {
+			b.Fatal("step delivered nothing")
+		}
+		for _, r := range ex.Replies {
+			st.Submit(r.Client, r.Seq, r.Result)
+		}
+	}
+	st.Close()
+}

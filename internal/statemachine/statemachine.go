@@ -28,6 +28,18 @@ type Application interface {
 	Restore(snapshot []byte) error
 }
 
+// SnapshotViewer is an optional Application capability for cheap
+// checkpointing: SnapshotView returns a closure that serializes the
+// state exactly as it is NOW, but may be invoked later, from another
+// goroutine, while the application keeps executing. Implementations
+// typically clone the state structurally under their own lock (copy-
+// on-write at checkpoint granularity) and leave the byte encoding to
+// the closure. Applications without it fall back to a synchronous
+// Snapshot on the execution loop.
+type SnapshotViewer interface {
+	SnapshotView() func() []byte
+}
+
 // Reply is the outcome of executing one request.
 type Reply struct {
 	Client uint32
@@ -157,6 +169,60 @@ func (e *Executor) execute(o timeline.Order, batch []*message.Request) Executed 
 		ex.Replies = append(ex.Replies, Reply{Client: r.Client, Seq: r.Seq, Result: res})
 	}
 	return ex
+}
+
+// CheckpointView captures the executor's checkpoint state at an
+// interval boundary without serializing the application synchronously:
+// the reply vector is marshaled eagerly (it is executor-owned and
+// mutates with the very next delivery) while the application snapshot
+// is deferred behind a SnapshotView closure. Materialization — the
+// expensive encode plus the digest hashes — then happens on whichever
+// goroutine consumes the view (the coordinator), off the execution
+// loop. A CheckpointView is single-consumer: its methods memoize and
+// are not safe for concurrent use.
+type CheckpointView struct {
+	// Order is the checkpoint boundary the view was taken at.
+	Order timeline.Order
+
+	view func() []byte
+	rv   []byte
+
+	snapshot []byte
+	taken    bool
+}
+
+// CheckpointView snapshots the executor's checkpoint state at the
+// current execution point. Must be called exactly at the interval
+// boundary, before the next instance is delivered.
+func (e *Executor) CheckpointView() *CheckpointView {
+	cv := &CheckpointView{Order: e.next - 1, rv: e.marshalReplies()}
+	if sv, ok := e.app.Application.(SnapshotViewer); ok {
+		cv.view = sv.SnapshotView()
+	} else {
+		// No view capability: serialize now (on the caller's loop), the
+		// pre-SnapshotViewer behavior.
+		b := e.app.Snapshot()
+		cv.view = func() []byte { return b }
+	}
+	return cv
+}
+
+// Snapshot materializes the application snapshot (memoized).
+func (v *CheckpointView) Snapshot() []byte {
+	if !v.taken {
+		v.snapshot = v.view()
+		v.taken = true
+	}
+	return v.snapshot
+}
+
+// ReplyVector returns the reply cache as of the boundary.
+func (v *CheckpointView) ReplyVector() []byte { return v.rv }
+
+// StateDigest returns the checkpoint digest of the view: H(snapshot)
+// combined with H(reply vector).
+func (v *CheckpointView) StateDigest() crypto.Digest {
+	return crypto.Combine(crypto.Hash(v.Snapshot()), crypto.Hash(v.rv))
 }
 
 // ReplyVectorDigest folds the reply cache into a digest. It is combined

@@ -6,6 +6,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -58,6 +60,7 @@ func NewOpsServer(opts OpsOptions) *OpsServer {
 	mux.HandleFunc("/audit", s.handleAudit)
 	mux.HandleFunc("/healthz", probeHandler(opts.Healthz))
 	mux.HandleFunc("/readyz", probeHandler(opts.Readyz))
+	mux.HandleFunc("/debug/profile-rates", handleProfileRates)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -156,6 +159,90 @@ func (s *OpsServer) handleAudit(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	_ = enc.Encode(s.opts.Audit())
+}
+
+// Contention profiling knobs. The mutex fraction has a runtime getter
+// (SetMutexProfileFraction(-1)); the block rate does not, so the last
+// value set through this process is tracked here. Both are
+// process-global — with several in-process replicas any ops server
+// reads and sets the same rates.
+var (
+	profileRatesMu  sync.Mutex
+	blockRateSetTo  int
+	profileRatesSet bool
+)
+
+// SetProfileRates applies the runtime contention-profiling knobs:
+// mutex is the mutex-profile sampling fraction (1 in N contention
+// events; 0 disables), block the block-profile rate in nanoseconds
+// (1 records every blocking event, 0 disables). Negative values leave
+// the respective knob unchanged. Used by the ops endpoint and the
+// replica's startup flags; once set, /debug/pprof/mutex and
+// /debug/pprof/block carry data.
+func SetProfileRates(mutex, block int) {
+	profileRatesMu.Lock()
+	defer profileRatesMu.Unlock()
+	if mutex >= 0 {
+		runtime.SetMutexProfileFraction(mutex)
+	}
+	if block >= 0 {
+		runtime.SetBlockProfileRate(block)
+		blockRateSetTo = block
+		profileRatesSet = true
+	}
+}
+
+// ProfileRates reports the current mutex fraction and the last block
+// rate set through SetProfileRates (the runtime exposes no getter for
+// the block rate; -1 means it was never set from here).
+func ProfileRates() (mutex, block int) {
+	profileRatesMu.Lock()
+	defer profileRatesMu.Unlock()
+	mutex = runtime.SetMutexProfileFraction(-1)
+	if !profileRatesSet {
+		return mutex, -1
+	}
+	return mutex, blockRateSetTo
+}
+
+// handleProfileRates is the ops surface for the contention knobs:
+// GET reports them, POST ?mutex=N&block=N sets either or both. The
+// response is the effective state after the call, so a chaos harness
+// can flip profiling on, pull /debug/pprof/mutex, and flip it back off
+// without restarting the replica.
+func handleProfileRates(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		// fall through to report
+	case http.MethodPost:
+		mutex, block := -1, -1
+		if v := r.URL.Query().Get("mutex"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "mutex must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			mutex = n
+		}
+		if v := r.URL.Query().Get("block"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "block must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			block = n
+		}
+		SetProfileRates(mutex, block)
+	default:
+		http.Error(w, "GET or POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	mutex, block := ProfileRates()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]int{
+		"mutex_profile_fraction": mutex,
+		"block_profile_rate":     block,
+	})
 }
 
 // probeHandler turns a health callback into an HTTP probe: 200 "ok" or

@@ -219,3 +219,87 @@ func BenchmarkExposition(b *testing.B) {
 		sinkString = sb.String()
 	}
 }
+
+// TestOpsProfileRates flips the runtime contention-profiling knobs
+// through the ops endpoint and checks they actually take effect — the
+// smoke CI runs so a live replica can always be switched into
+// mutex/block profiling without a restart.
+func TestOpsProfileRates(t *testing.T) {
+	// The knobs are process-global; restore whatever the other tests
+	// in this binary were running with.
+	origMutex, origBlock := ProfileRates()
+	defer func() {
+		if origBlock < 0 {
+			origBlock = 0
+		}
+		SetProfileRates(origMutex, origBlock)
+	}()
+
+	s := NewOpsServer(OpsOptions{Telemetry: New("hybster")})
+	if err := s.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	readRates := func() map[string]int {
+		t.Helper()
+		code, body := getBody(t, base+"/debug/profile-rates")
+		if code != http.StatusOK {
+			t.Fatalf("GET /debug/profile-rates = %d: %s", code, body)
+		}
+		var m map[string]int
+		if err := json.Unmarshal([]byte(body), &m); err != nil {
+			t.Fatalf("profile-rates body %q: %v", body, err)
+		}
+		return m
+	}
+
+	post := func(query string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(base+"/debug/profile-rates?"+query, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := post("mutex=7&block=10000"); code != http.StatusOK {
+		t.Fatalf("POST rates = %d: %s", code, body)
+	}
+	m := readRates()
+	if m["mutex_profile_fraction"] != 7 || m["block_profile_rate"] != 10000 {
+		t.Fatalf("rates after POST = %v, want mutex 7 block 10000", m)
+	}
+
+	// With the fraction set, the mutex profile endpoint must serve.
+	if code, _ := getBody(t, base+"/debug/pprof/mutex?debug=1"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/mutex = %d with profiling on", code)
+	}
+
+	// Partial update: only the block rate; the mutex fraction holds.
+	if code, body := post("block=0"); code != http.StatusOK {
+		t.Fatalf("POST block=0 = %d: %s", code, body)
+	}
+	m = readRates()
+	if m["mutex_profile_fraction"] != 7 || m["block_profile_rate"] != 0 {
+		t.Fatalf("rates after partial POST = %v, want mutex 7 block 0", m)
+	}
+
+	// Invalid input is rejected and changes nothing.
+	if code, _ := post("mutex=-3"); code != http.StatusBadRequest {
+		t.Fatalf("POST mutex=-3 = %d, want 400", code)
+	}
+	if code, _ := post("mutex=zzz"); code != http.StatusBadRequest {
+		t.Fatalf("POST mutex=zzz = %d, want 400", code)
+	}
+	if m = readRates(); m["mutex_profile_fraction"] != 7 {
+		t.Fatalf("bad POST changed rates: %v", m)
+	}
+
+	if code, body := post("mutex=0"); code != http.StatusOK {
+		t.Fatalf("POST mutex=0 = %d: %s", code, body)
+	}
+}

@@ -20,8 +20,18 @@ trap 'rm -rf "$FRESH"' EXIT INT TERM
 
 [ -f "$BASELINE" ] || { echo "bench-compare: missing baseline $BASELINE" >&2; exit 1; }
 
-# Match the baseline's parameters (quick sweep, 16 clients, 1s
-# windows) so the comparison is apples to apples.
-go run ./cmd/hybster-bench -figure 5c -quick -clients 16 -json -results "$FRESH" >/dev/null
+# Match the baseline's parameters (quick sweep, 96 clients, 2s
+# windows) so the comparison is apples to apples. 96 clients keeps
+# every proposer's request population high enough that the 4-pillar
+# configurations run with real batches; at 16 clients HybsterX's
+# partitioned pillars are starved by design and the scaling ratio
+# below would be meaningless.
+go run ./cmd/hybster-bench -figure 5c -quick -clients 96 -duration 2s -warmup 500ms \
+	-json -results "$FRESH" >/dev/null
 
-go run scripts/benchcmp.go -threshold "$THRESHOLD" "$BASELINE" "$FRESH/fig5c.json"
+# The -scaling gate is warn-only: it prints the HybsterX 4-core/1-core
+# throughput ratio and warns below 1.0 without failing the run (on a
+# single-core host parity is the physical ceiling; see DESIGN.md §14).
+go run scripts/benchcmp.go -threshold "$THRESHOLD" \
+	-scaling HybsterX -scaling-min 1.0 \
+	"$BASELINE" "$FRESH/fig5c.json"

@@ -44,8 +44,32 @@ func load(path string) (*resultFile, error) {
 	return &r, nil
 }
 
+// scalingRatio returns series' throughput at its largest x divided by
+// its throughput at x=1, or ok=false when either point is missing.
+func scalingRatio(r *resultFile, series string) (ratio, xmax float64, ok bool) {
+	var at1, atMax float64
+	for _, p := range r.Points {
+		if p.Series != series {
+			continue
+		}
+		if p.X == 1 {
+			at1 = p.Throughput
+		}
+		if p.X > xmax {
+			xmax = p.X
+			atMax = p.Throughput
+		}
+	}
+	if at1 <= 0 || xmax <= 1 {
+		return 0, 0, false
+	}
+	return atMax / at1, xmax, true
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.25, "max tolerated fractional throughput drop")
+	scaling := flag.String("scaling", "", "series whose max-x/x=1 throughput ratio to report")
+	scalingMin := flag.Float64("scaling-min", 1.0, "warn when the -scaling ratio of the fresh run falls below this")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: go run scripts/benchcmp.go [-threshold 0.25] baseline.json fresh.json")
@@ -99,6 +123,29 @@ func main() {
 			fmt.Printf("%-12s %6g %14s %14.0f %8s  (new, no baseline)\n", p.Series, p.X, "-", p.Throughput, "-")
 		}
 	}
+	// Scaling gate: does the named series still speed up (or at least
+	// hold) as cores grow? Warn-only by design — on a single-core
+	// runner the physical ceiling for the multi-pillar configuration
+	// is parity with one pillar, and shared runners are too noisy to
+	// fail a merge on one quick sweep. The ratio in the log is the
+	// signal; a sustained slide below 1.0 on real hardware is what to
+	// chase.
+	if *scaling != "" {
+		if br, bx, ok := scalingRatio(base, *scaling); ok {
+			fmt.Printf("scaling %-12s baseline: x=%g/x=1 ratio %.2f\n", *scaling, bx, br)
+		}
+		fr, fx, ok := scalingRatio(fresh, *scaling)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcmp: series %q lacks x=1 and x>1 points; no scaling ratio\n", *scaling)
+		} else {
+			fmt.Printf("scaling %-12s fresh:    x=%g/x=1 ratio %.2f\n", *scaling, fx, fr)
+			if fr < *scalingMin {
+				fmt.Fprintf(os.Stderr, "benchcmp: WARNING %s scaling ratio %.2f below %.2f — multi-core configuration is not keeping up with single-core\n",
+					*scaling, fr, *scalingMin)
+			}
+		}
+	}
+
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchcmp: %d point(s) regressed beyond %g%%\n", regressions, *threshold*100)
 		os.Exit(2)
